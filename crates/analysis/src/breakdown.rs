@@ -1,0 +1,115 @@
+//! Per-core and per-thread breakdowns of a drained trace — the first
+//! questions an analyst asks of a dump (which cores produced what, how
+//! skewed was the load, which threads dominate).
+
+use btrace_core::sink::CollectedEvent;
+
+/// Aggregates for one core (or one thread).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct GroupStats {
+    /// Group key (core index or tid).
+    pub key: u32,
+    /// Retained events from this group.
+    pub events: usize,
+    /// Retained bytes from this group.
+    pub bytes: u64,
+    /// Oldest retained stamp.
+    pub oldest: u64,
+    /// Newest retained stamp.
+    pub newest: u64,
+}
+
+/// Per-core aggregates, sorted by core index.
+pub fn by_core(events: &[CollectedEvent]) -> Vec<GroupStats> {
+    group(events, |e| e.core as u32)
+}
+
+/// Per-thread aggregates, sorted descending by event count (hot threads
+/// first). Limited to the `top` busiest threads.
+pub fn by_thread(events: &[CollectedEvent], top: usize) -> Vec<GroupStats> {
+    let mut all = group(events, |e| e.tid);
+    all.sort_by(|a, b| b.events.cmp(&a.events).then(a.key.cmp(&b.key)));
+    all.truncate(top);
+    all
+}
+
+/// Production-speed skew across cores: max over min of per-core event
+/// counts (1.0 when perfectly balanced; `None` with fewer than two cores).
+pub fn core_skew(events: &[CollectedEvent]) -> Option<f64> {
+    let cores = by_core(events);
+    if cores.len() < 2 {
+        return None;
+    }
+    let max = cores.iter().map(|c| c.events).max()? as f64;
+    let min = cores.iter().map(|c| c.events).min()?.max(1) as f64;
+    Some(max / min)
+}
+
+fn group(events: &[CollectedEvent], key: impl Fn(&CollectedEvent) -> u32) -> Vec<GroupStats> {
+    use std::collections::BTreeMap;
+    let mut map: BTreeMap<u32, GroupStats> = BTreeMap::new();
+    for e in events {
+        let k = key(e);
+        let entry = map.entry(k).or_insert(GroupStats {
+            key: k,
+            events: 0,
+            bytes: 0,
+            oldest: u64::MAX,
+            newest: 0,
+        });
+        entry.events += 1;
+        entry.bytes += e.stored_bytes as u64;
+        entry.oldest = entry.oldest.min(e.stamp);
+        entry.newest = entry.newest.max(e.stamp);
+    }
+    map.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(stamp: u64, core: u16, tid: u32, bytes: u32) -> CollectedEvent {
+        CollectedEvent { stamp, core, tid, stored_bytes: bytes }
+    }
+
+    #[test]
+    fn groups_by_core_with_ranges() {
+        let events =
+            vec![ev(1, 0, 10, 32), ev(2, 1, 11, 16), ev(3, 0, 10, 32), ev(9, 0, 12, 8)];
+        let cores = by_core(&events);
+        assert_eq!(cores.len(), 2);
+        assert_eq!(cores[0].key, 0);
+        assert_eq!(cores[0].events, 3);
+        assert_eq!(cores[0].bytes, 72);
+        assert_eq!(cores[0].oldest, 1);
+        assert_eq!(cores[0].newest, 9);
+        assert_eq!(cores[1].events, 1);
+    }
+
+    #[test]
+    fn hot_threads_first() {
+        let mut events = Vec::new();
+        for i in 0..10 {
+            events.push(ev(i, 0, 7, 8));
+        }
+        events.push(ev(100, 0, 3, 8));
+        let threads = by_thread(&events, 5);
+        assert_eq!(threads[0].key, 7);
+        assert_eq!(threads[0].events, 10);
+        assert_eq!(threads.len(), 2);
+        let limited = by_thread(&events, 1);
+        assert_eq!(limited.len(), 1);
+    }
+
+    #[test]
+    fn skew_and_edge_cases() {
+        assert_eq!(core_skew(&[]), None);
+        assert_eq!(core_skew(&[ev(1, 0, 0, 8)]), None);
+        let balanced = vec![ev(1, 0, 0, 8), ev(2, 1, 0, 8)];
+        assert_eq!(core_skew(&balanced), Some(1.0));
+        let skewed = vec![ev(1, 0, 0, 8), ev(2, 0, 0, 8), ev(3, 0, 0, 8), ev(4, 1, 0, 8)];
+        assert_eq!(core_skew(&skewed), Some(3.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! ASCII retention maps — the textual rendering of the paper's Fig. 1:
+//! for the last `N` written events, which are still retained in the buffer?
+
+/// Options for [`gap_map`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapMapOptions {
+    /// Window of most recent written stamps to visualize.
+    pub window: u64,
+    /// Output width in characters (each column is a bucket of stamps).
+    pub width: usize,
+}
+
+impl Default for GapMapOptions {
+    fn default() -> Self {
+        Self { window: 100_000, width: 80 }
+    }
+}
+
+/// Renders the retention pattern of the last `options.window` written stamps
+/// as one text row, newest to the **right** (as in Fig. 1).
+///
+/// * `█` — every stamp in the bucket retained
+/// * `▓` / `▒` / `░` — decreasing partial retention
+/// * `·` — the whole bucket was dropped
+///
+/// `retained_stamps` need not be sorted. `newest_written` is the largest
+/// stamp the workload produced (retention is measured against what was
+/// *written*, not what survived).
+///
+/// # Examples
+///
+/// ```rust
+/// use btrace_analysis::{gap_map, GapMapOptions};
+///
+/// // Only the second half of a 100-stamp window survived.
+/// let retained: Vec<u64> = (50..100).collect();
+/// let map = gap_map(&retained, 99, GapMapOptions { window: 100, width: 10 });
+/// assert_eq!(map, "·····█████");
+/// ```
+pub fn gap_map(retained_stamps: &[u64], newest_written: u64, options: GapMapOptions) -> String {
+    let GapMapOptions { window, width } = options;
+    if width == 0 || window == 0 {
+        return String::new();
+    }
+    let start = newest_written.saturating_sub(window - 1);
+    let mut buckets = vec![0u64; width];
+    for &stamp in retained_stamps {
+        if stamp < start || stamp > newest_written {
+            continue;
+        }
+        let idx = ((stamp - start) * width as u64 / window) as usize;
+        buckets[idx.min(width - 1)] += 1;
+    }
+    let per_bucket_lo = window / width as u64; // bucket sizes differ by at most 1
+    buckets
+        .iter()
+        .map(|&count| {
+            let full = per_bucket_lo.max(1);
+            let frac = count as f64 / full as f64;
+            if frac >= 1.0 {
+                '█'
+            } else if frac >= 0.66 {
+                '▓'
+            } else if frac >= 0.33 {
+                '▒'
+            } else if count > 0 {
+                '░'
+            } else {
+                '·'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_retention_is_solid() {
+        let retained: Vec<u64> = (0..100).collect();
+        let map = gap_map(&retained, 99, GapMapOptions { window: 100, width: 10 });
+        assert_eq!(map, "██████████");
+    }
+
+    #[test]
+    fn empty_retention_is_dots() {
+        let map = gap_map(&[], 99, GapMapOptions { window: 100, width: 5 });
+        assert_eq!(map, "·····");
+    }
+
+    #[test]
+    fn interior_gap_shows_in_the_middle() {
+        // Drop stamps 40..60 of 0..100.
+        let retained: Vec<u64> = (0..40).chain(60..100).collect();
+        let map = gap_map(&retained, 99, GapMapOptions { window: 100, width: 10 });
+        assert!(map.starts_with("████"));
+        assert!(map.ends_with("████"));
+        assert!(map.contains('·'));
+    }
+
+    #[test]
+    fn newest_is_rightmost() {
+        // Only the newest 10 of 100 retained -> rightmost column solid.
+        let retained: Vec<u64> = (90..100).collect();
+        let map = gap_map(&retained, 99, GapMapOptions { window: 100, width: 10 });
+        assert_eq!(map.chars().last().unwrap(), '█');
+        assert_eq!(map.chars().next().unwrap(), '·');
+    }
+
+    #[test]
+    fn stamps_outside_window_ignored() {
+        let retained: Vec<u64> = (0..1000).collect();
+        let map = gap_map(&retained, 1999, GapMapOptions { window: 100, width: 4 });
+        // Window covers 1900..=1999, none of which were retained.
+        assert_eq!(map, "····");
+    }
+
+    #[test]
+    fn partial_buckets_use_shading() {
+        // Half of each bucket retained.
+        let retained: Vec<u64> = (0..100).step_by(2).collect();
+        let map = gap_map(&retained, 99, GapMapOptions { window: 100, width: 10 });
+        assert!(map.chars().all(|c| c == '▒'), "got {map}");
+    }
+
+    #[test]
+    fn zero_width_or_window_is_empty() {
+        assert_eq!(gap_map(&[1], 10, GapMapOptions { window: 0, width: 10 }), "");
+        assert_eq!(gap_map(&[1], 10, GapMapOptions { window: 10, width: 0 }), "");
+    }
+}

@@ -1,0 +1,34 @@
+//! # btrace-analysis — readout metrics for the BTrace evaluation
+//!
+//! Computes the four quantities of the paper's Table 2 from a drained trace
+//! plus the latency distributions of Fig. 11 and the retention gap maps of
+//! Fig. 1:
+//!
+//! * **latest fragment** — the most recent sequence of retained events with
+//!   no interior drops, in bytes (§1, §5.2);
+//! * **loss rate** — the fraction of events missing between the oldest and
+//!   newest retained event (§5.2);
+//! * **fragments** — the number of maximal contiguous runs in the retained
+//!   trace, a proxy for how many *indistinguishable small gaps* a developer
+//!   would face (§2.2);
+//! * **effectivity ratio** — latest fragment over total buffer capacity
+//!   (§2.2, Fig. 5).
+//!
+//! Events are identified by the unique, monotonically increasing logic
+//! stamps the replayer assigns at record time (§5 "replaying setup"), so a
+//! missing stamp is a dropped event by construction.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod breakdown;
+mod gapmap;
+mod metrics;
+mod stats;
+mod table;
+
+pub use breakdown::{by_core, by_thread, core_skew, GroupStats};
+pub use gapmap::{gap_map, GapMapOptions};
+pub use metrics::{analyze, Metrics};
+pub use stats::{geometric_mean, percentile, BoxStats, LatencyStats};
+pub use table::Table;

@@ -1,0 +1,182 @@
+//! Stamp-based retention metrics (paper Table 2).
+
+use btrace_core::sink::CollectedEvent;
+
+/// Retention metrics for one drained trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct Metrics {
+    /// Number of retained events.
+    pub retained_events: usize,
+    /// Total retained bytes (on-buffer encoding).
+    pub retained_bytes: u64,
+    /// Bytes of the latest fragment: the contiguous-stamp run ending at the
+    /// newest retained event.
+    pub latest_fragment_bytes: u64,
+    /// Events in the latest fragment.
+    pub latest_fragment_events: usize,
+    /// Number of maximal contiguous runs.
+    pub fragments: usize,
+    /// Fraction of events missing within the retained range
+    /// `[oldest stamp, newest stamp]`; 0.0 for an empty or gapless trace.
+    pub loss_rate: f64,
+    /// `latest_fragment_bytes / capacity_bytes`.
+    pub effectivity_ratio: f64,
+}
+
+impl Metrics {
+    /// Metrics of an empty readout.
+    pub fn empty() -> Self {
+        Self {
+            retained_events: 0,
+            retained_bytes: 0,
+            latest_fragment_bytes: 0,
+            latest_fragment_events: 0,
+            fragments: 0,
+            loss_rate: 0.0,
+            effectivity_ratio: 0.0,
+        }
+    }
+}
+
+/// Computes retention metrics from drained events and the tracer's buffer
+/// capacity.
+///
+/// Events may arrive in any order and may contain duplicates (a defensive
+/// consumer could return a block twice); stamps are deduplicated first.
+///
+/// # Examples
+///
+/// ```rust
+/// use btrace_analysis::analyze;
+/// use btrace_core::sink::CollectedEvent;
+///
+/// let ev = |stamp| CollectedEvent { stamp, core: 0, tid: 0, stored_bytes: 32 };
+/// // Stamps 5..=9 and 12..=13 retained: gap at 10..=11.
+/// let events: Vec<_> = (5..10).chain(12..14).map(ev).collect();
+/// let m = analyze(&events, 1024);
+/// assert_eq!(m.fragments, 2);
+/// assert_eq!(m.latest_fragment_events, 2);
+/// assert!((m.loss_rate - 2.0 / 9.0).abs() < 1e-9);
+/// ```
+pub fn analyze(events: &[CollectedEvent], capacity_bytes: usize) -> Metrics {
+    if events.is_empty() {
+        return Metrics::empty();
+    }
+    let mut sorted: Vec<(u64, u32)> = events.iter().map(|e| (e.stamp, e.stored_bytes)).collect();
+    sorted.sort_unstable_by_key(|&(stamp, _)| stamp);
+    sorted.dedup_by_key(|&mut (stamp, _)| stamp);
+
+    let retained_events = sorted.len();
+    let retained_bytes: u64 = sorted.iter().map(|&(_, b)| b as u64).sum();
+
+    let mut fragments = 1usize;
+    let mut run_start = 0usize;
+    let mut last_run_start = 0usize;
+    for i in 1..sorted.len() {
+        if sorted[i].0 != sorted[i - 1].0 + 1 {
+            fragments += 1;
+            run_start = i;
+        }
+        last_run_start = run_start;
+    }
+    let latest: &[(u64, u32)] = &sorted[last_run_start..];
+    let latest_fragment_bytes: u64 = latest.iter().map(|&(_, b)| b as u64).sum();
+
+    let oldest = sorted.first().expect("non-empty").0;
+    let newest = sorted.last().expect("non-empty").0;
+    let range = newest - oldest + 1;
+    let loss_rate = (range - retained_events as u64) as f64 / range as f64;
+
+    Metrics {
+        retained_events,
+        retained_bytes,
+        latest_fragment_bytes,
+        latest_fragment_events: latest.len(),
+        fragments,
+        loss_rate,
+        effectivity_ratio: if capacity_bytes == 0 {
+            0.0
+        } else {
+            latest_fragment_bytes as f64 / capacity_bytes as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(stamp: u64, bytes: u32) -> CollectedEvent {
+        CollectedEvent { stamp, core: 0, tid: 0, stored_bytes: bytes }
+    }
+
+    #[test]
+    fn empty_trace() {
+        let m = analyze(&[], 100);
+        assert_eq!(m, Metrics::empty());
+    }
+
+    #[test]
+    fn gapless_trace_is_one_fragment() {
+        let events: Vec<_> = (0..100).map(|s| ev(s, 10)).collect();
+        let m = analyze(&events, 1000);
+        assert_eq!(m.fragments, 1);
+        assert_eq!(m.loss_rate, 0.0);
+        assert_eq!(m.latest_fragment_bytes, 1000);
+        assert_eq!(m.retained_bytes, 1000);
+        assert!((m.effectivity_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_event() {
+        let m = analyze(&[ev(42, 24)], 1024);
+        assert_eq!(m.fragments, 1);
+        assert_eq!(m.latest_fragment_bytes, 24);
+        assert_eq!(m.loss_rate, 0.0);
+    }
+
+    #[test]
+    fn interior_gap_splits_fragments() {
+        // 0..10 and 20..30 retained.
+        let events: Vec<_> = (0..10).chain(20..30).map(|s| ev(s, 16)).collect();
+        let m = analyze(&events, 320);
+        assert_eq!(m.fragments, 2);
+        assert_eq!(m.latest_fragment_events, 10);
+        assert_eq!(m.latest_fragment_bytes, 160);
+        // 10 missing out of range 30.
+        assert!((m.loss_rate - 10.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_small_gaps() {
+        // Every other stamp retained: fragments == events.
+        let events: Vec<_> = (0..100).step_by(2).map(|s| ev(s, 8)).collect();
+        let m = analyze(&events, 1000);
+        assert_eq!(m.fragments, 50);
+        assert_eq!(m.latest_fragment_events, 1);
+        assert!((m.loss_rate - 49.0 / 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unordered_and_duplicated_input() {
+        let mut events: Vec<_> = (10..20).map(|s| ev(s, 8)).collect();
+        events.push(ev(15, 8)); // duplicate
+        events.reverse();
+        let m = analyze(&events, 80);
+        assert_eq!(m.retained_events, 10);
+        assert_eq!(m.fragments, 1);
+        assert_eq!(m.retained_bytes, 80);
+    }
+
+    #[test]
+    fn latest_fragment_ends_at_newest() {
+        // Newest run is tiny; older run is huge. Latest fragment must be
+        // the newest run, not the biggest.
+        let events: Vec<_> = (0..90).chain(95..97).map(|s| ev(s, 10)).collect();
+        let m = analyze(&events, 1000);
+        assert_eq!(m.latest_fragment_events, 2);
+        assert_eq!(m.latest_fragment_bytes, 20);
+        assert_eq!(m.fragments, 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Latency statistics (Fig. 11) and box-plot summaries (Figs. 6, 10).
+
+/// Geometric mean of a sample, the paper's choice for recording latency "to
+/// mitigate the impact of outliers" (§5.2). Zero values are clamped to 1 so
+/// a single zero cannot null the product. Returns 0.0 for an empty sample.
+pub fn geometric_mean(samples: &[u64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = samples.iter().map(|&v| (v.max(1) as f64).ln()).sum();
+    (log_sum / samples.len() as f64).exp()
+}
+
+/// The `q`-th percentile (0.0 ..= 100.0) of a sample using linear
+/// interpolation. Returns 0.0 for an empty sample.
+///
+/// # Panics
+///
+/// Panics when `q` is outside `0.0..=100.0`.
+pub fn percentile(sorted: &[u64], q: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo] as f64
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+    }
+}
+
+/// Summary of a recording-latency sample (Table 2 bottom block, Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Geometric mean in nanoseconds.
+    pub geomean_ns: f64,
+    /// Median.
+    pub p50_ns: f64,
+    /// 90th percentile.
+    pub p90_ns: f64,
+    /// 99th percentile.
+    pub p99_ns: f64,
+    /// Maximum observed.
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Computes the summary, consuming (and sorting) the sample.
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
+        Self {
+            count: samples.len(),
+            geomean_ns: geometric_mean(&samples),
+            p50_ns: percentile(&samples, 50.0),
+            p90_ns: percentile(&samples, 90.0),
+            p99_ns: percentile(&samples, 99.0),
+            max_ns: samples.last().copied().unwrap_or(0),
+        }
+    }
+
+    /// Cumulative distribution over `points` evenly spaced latency values
+    /// up to `max_ns`, as `(latency_ns, fraction ≤ latency)` pairs — the
+    /// series plotted in Fig. 11.
+    pub fn cdf(sorted_samples: &[u64], points: usize, max_ns: u64) -> Vec<(u64, f64)> {
+        if sorted_samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        (1..=points)
+            .map(|i| {
+                let x = max_ns * i as u64 / points as u64;
+                let below = sorted_samples.partition_point(|&v| v <= x);
+                (x, below as f64 / sorted_samples.len() as f64)
+            })
+            .collect()
+    }
+}
+
+/// Five-number summary plus outliers, for the box plots of Figs. 6 and 10.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct BoxStats {
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Lowest sample within `q1 - 1.5·IQR`.
+    pub whisker_lo: f64,
+    /// Highest sample within `q3 + 1.5·IQR`.
+    pub whisker_hi: f64,
+    /// Samples outside the whiskers.
+    pub outliers: Vec<u64>,
+}
+
+impl BoxStats {
+    /// Computes the summary, consuming (and sorting) the sample. Returns
+    /// `None` for an empty sample.
+    pub fn from_samples(mut samples: Vec<u64>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let q1 = percentile(&samples, 25.0);
+        let median = percentile(&samples, 50.0);
+        let q3 = percentile(&samples, 75.0);
+        let iqr = q3 - q1;
+        let lo_bound = q1 - 1.5 * iqr;
+        let hi_bound = q3 + 1.5 * iqr;
+        let whisker_lo = samples.iter().copied().find(|&v| v as f64 >= lo_bound).unwrap_or(samples[0]) as f64;
+        let whisker_hi = samples
+            .iter()
+            .rev()
+            .copied()
+            .find(|&v| v as f64 <= hi_bound)
+            .unwrap_or(*samples.last().expect("non-empty")) as f64;
+        let outliers =
+            samples.iter().copied().filter(|&v| (v as f64) < lo_bound || (v as f64) > hi_bound).collect();
+        Some(Self { q1, median, q3, whisker_lo, whisker_hi, outliers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[4, 4, 4]) - 4.0).abs() < 1e-9);
+        // GM(1, 100) = 10.
+        assert!((geometric_mean(&[1, 100]) - 10.0).abs() < 1e-9);
+        // Outlier robustness: one huge sample barely moves the GM.
+        let mostly_small = [50u64; 99].iter().copied().chain([50_000]).collect::<Vec<_>>();
+        let gm = geometric_mean(&mostly_small);
+        assert!(gm < 60.0, "geomean {gm} must stay near the mode");
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [10, 20, 30, 40];
+        assert_eq!(percentile(&s, 0.0), 10.0);
+        assert_eq!(percentile(&s, 100.0), 40.0);
+        assert_eq!(percentile(&s, 50.0), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_validates_q() {
+        percentile(&[1], 101.0);
+    }
+
+    #[test]
+    fn latency_stats_summary() {
+        let stats = LatencyStats::from_samples((1..=100).collect());
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.max_ns, 100);
+        assert!((stats.p50_ns - 50.5).abs() < 1e-9);
+        assert!(stats.p99_ns > 98.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let samples: Vec<u64> = (1..=1000).collect();
+        let cdf = LatencyStats::cdf(&samples, 10, 1000);
+        assert_eq!(cdf.len(), 10);
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_stats_flag_outliers() {
+        let mut samples: Vec<u64> = (10..=20).collect();
+        samples.push(1000);
+        let b = BoxStats::from_samples(samples).unwrap();
+        assert_eq!(b.outliers, vec![1000]);
+        assert!(b.whisker_hi <= 20.0);
+        assert!(BoxStats::from_samples(vec![]).is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! Minimal fixed-width table rendering for the benchmark binaries that
+//! regenerate the paper's tables on stdout.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+///
+/// # Examples
+///
+/// ```rust
+/// use btrace_analysis::Table;
+///
+/// let mut t = Table::new(vec!["Tracer".into(), "Latency".into()]);
+/// t.row(vec!["BTrace".into(), "53 ns".into()]);
+/// let text = t.render();
+/// assert!(text.contains("BTrace"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Self { header, rows: Vec::new() }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// extend the column count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.rows.iter().map(Vec::len).chain([self.header.len()]).max().unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit = |row: &[String], out: &mut String| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:<width$}  ");
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a".into(), "bb".into()]);
+        t.row(vec!["xxxx".into(), "y".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a     bb"));
+        assert!(lines[2].starts_with("xxxx  y"));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = Table::new(vec!["h".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec![]);
+        let text = t.render();
+        assert_eq!(text.lines().count(), 4);
+    }
+}

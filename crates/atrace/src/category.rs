@@ -1,0 +1,192 @@
+//! Tracepoint categories and the paper's trace levels (Figs. 2–3).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr};
+
+/// A set of tracepoint categories, as a bitmask.
+///
+/// Matches the atrace categories of the paper's Fig. 2. Combine with `|`;
+/// test membership with [`Category::contains`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Category(u32);
+
+macro_rules! categories {
+    ($(($name:ident, $bit:expr, $label:literal, $level:expr)),+ $(,)?) => {
+        impl Category {
+            $(
+                #[doc = concat!("The `", $label, "` category.")]
+                pub const $name: Category = Category(1 << $bit);
+            )+
+
+            /// No categories.
+            pub const NONE: Category = Category(0);
+
+            /// Every category.
+            pub const ALL: Category = Category($( (1 << $bit) )|+);
+
+            /// The human-readable label of a single-bit category.
+            pub fn label(self) -> &'static str {
+                match self {
+                    $(Category::$name => $label,)+
+                    _ => "(set)",
+                }
+            }
+
+            /// All single categories with their labels and levels.
+            pub fn catalog() -> &'static [(Category, &'static str, Level)] {
+                &[ $((Category::$name, $label, $level)),+ ]
+            }
+        }
+    };
+}
+
+categories! {
+    (BINDER_DRIVER, 0, "binder_driver", Level::Level1),
+    (BINDER_LOCK, 1, "binder_lock", Level::Level1),
+    (SCHED, 2, "sched", Level::Level2),
+    (IRQ, 3, "irq", Level::Level2),
+    (VIEW, 4, "view", Level::Level2),
+    (GFX, 5, "gfx", Level::Level2),
+    (INPUT, 6, "input", Level::Level2),
+    (AM, 7, "am", Level::Level2),
+    (WM, 8, "wm", Level::Level2),
+    (DALVIK, 9, "dalvik", Level::Level2),
+    (PAGECACHE, 10, "pagecache", Level::Level2),
+    (NETWORK, 11, "network", Level::Level2),
+    (HAL, 12, "hal", Level::Level2),
+    (RES, 13, "res", Level::Level2),
+    (SS, 14, "ss", Level::Level2),
+    (IDLE, 15, "idle", Level::Level3),
+    (FREQ, 16, "freq", Level::Level3),
+    (POWER, 17, "power", Level::Level3),
+    (ENERGY_THERMAL, 18, "energy/thermal", Level::Level3),
+}
+
+impl Category {
+    /// Whether every bit of `other` is enabled in `self`.
+    pub fn contains(self, other: Category) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether no category is enabled.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw bitmask.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a set from raw bits (unknown bits are dropped).
+    pub fn from_bits(bits: u32) -> Category {
+        Category(bits) & Category::ALL
+    }
+}
+
+impl BitOr for Category {
+    type Output = Category;
+    fn bitor(self, rhs: Category) -> Category {
+        Category(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Category {
+    type Output = Category;
+    fn bitand(self, rhs: Category) -> Category {
+        Category(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Debug for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "Category(NONE)");
+        }
+        let names: Vec<&str> = Category::catalog()
+            .iter()
+            .filter(|(c, _, _)| self.contains(*c))
+            .map(|&(_, label, _)| label)
+            .collect();
+        write!(f, "Category({})", names.join("|"))
+    }
+}
+
+/// The paper's trace detail levels (Fig. 3): each level enables every
+/// category of the levels below it plus its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level {
+    /// Minimal: binder events for thread dependencies and hangs.
+    Level1,
+    /// Plus scheduling, IRQs, and framework events for performance issues.
+    Level2,
+    /// Plus idle/frequency/energy/thermal detail for system-wide analysis.
+    Level3,
+}
+
+impl Level {
+    /// The category set this level enables (cumulative).
+    pub fn categories(self) -> Category {
+        Category::catalog()
+            .iter()
+            .filter(|&&(_, _, level)| level <= self)
+            .fold(Category::NONE, |acc, &(c, _, _)| acc | c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_cumulative() {
+        let l1 = Level::Level1.categories();
+        let l2 = Level::Level2.categories();
+        let l3 = Level::Level3.categories();
+        assert!(l2.contains(l1));
+        assert!(l3.contains(l2));
+        assert!(l3.contains(Category::FREQ));
+        assert!(!l2.contains(Category::FREQ));
+        assert!(!l1.contains(Category::SCHED));
+        assert!(l1.contains(Category::BINDER_DRIVER));
+    }
+
+    #[test]
+    fn set_operations() {
+        let set = Category::SCHED | Category::IRQ;
+        assert!(set.contains(Category::SCHED));
+        assert!(!set.contains(Category::FREQ));
+        assert!(!set.contains(Category::SCHED | Category::FREQ));
+        assert_eq!(set & Category::SCHED, Category::SCHED);
+        assert!(Category::NONE.is_empty());
+        assert!(Category::ALL.contains(set));
+    }
+
+    #[test]
+    fn bits_roundtrip_and_mask_unknown() {
+        let set = Category::FREQ | Category::IDLE;
+        assert_eq!(Category::from_bits(set.bits()), set);
+        assert_eq!(Category::from_bits(0xFFFF_FFFF), Category::ALL);
+    }
+
+    #[test]
+    fn labels_and_debug() {
+        assert_eq!(Category::SCHED.label(), "sched");
+        assert_eq!(Category::ENERGY_THERMAL.label(), "energy/thermal");
+        let dbg = format!("{:?}", Category::SCHED | Category::IRQ);
+        assert!(dbg.contains("sched") && dbg.contains("irq"));
+        assert_eq!(format!("{:?}", Category::NONE), "Category(NONE)");
+    }
+
+    #[test]
+    fn catalog_is_complete_and_distinct() {
+        let catalog = Category::catalog();
+        assert_eq!(catalog.len(), 19);
+        let mut seen = 0u32;
+        for &(c, _, _) in catalog {
+            assert_eq!(seen & c.bits(), 0, "overlapping category bits");
+            seen |= c.bits();
+        }
+        assert_eq!(seen, Category::ALL.bits());
+    }
+}

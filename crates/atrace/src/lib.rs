@@ -1,0 +1,47 @@
+//! # btrace-atrace — the tracepoint front-end
+//!
+//! The BTrace paper's traces come from Android's `atrace` (paper ref. 17): tracepoint
+//! *categories* (sched, irq, freq, idle, binder, …) that developers enable
+//! per debugging session, grouped into *levels* of increasing detail and
+//! volume (Fig. 2, Fig. 3). This crate is that front-end for any
+//! [`TraceSink`](btrace_core::sink::TraceSink):
+//!
+//! * [`Category`] — a bitmask of tracepoint categories with the paper's
+//!   [`Level`] presets (level-1: binder; level-2: + sched/irq/…;
+//!   level-3: + idle/freq/energy/thermal);
+//! * [`TraceEvent`] — compact, typed, self-describing event payloads with
+//!   an allocation-free binary codec;
+//! * [`Atrace`] — the session object: category filtering happens *before*
+//!   touching the buffer, disabled tracepoints cost one atomic load;
+//! * [`Atrace::scope`] — RAII begin/end markers for duration events.
+//!
+//! ```rust
+//! use btrace_atrace::{Atrace, Category, Level, TraceEvent};
+//! use btrace_core::{BTrace, Config};
+//!
+//! # fn main() -> Result<(), btrace_core::TraceError> {
+//! let sink = BTrace::new(Config::new(2).buffer_bytes(1 << 20).active_blocks(32))?;
+//! let atrace = Atrace::new(sink, Level::Level3.categories());
+//!
+//! atrace.event(0, 7, TraceEvent::SchedSwitch { prev: 100, next: 200, prio: 5 });
+//! atrace.event(1, 8, TraceEvent::FreqChange { cpu: 1, khz: 2_400_000 });
+//! {
+//!     let _scope = atrace.scope(0, 7, "binder: transact");
+//! } // end marker emitted here
+//!
+//! let events = atrace.drain_decoded();
+//! assert_eq!(events.len(), 4); // two events + begin + end
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod category;
+mod codec;
+mod session;
+
+pub use category::{Category, Level};
+pub use codec::{DecodeError, OwnedEvent, TraceEvent, MAX_ENCODED, MAX_STRING};
+pub use session::{Atrace, DecodedEvent, ScopeGuard};

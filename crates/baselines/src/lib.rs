@@ -1,0 +1,35 @@
+//! # btrace-baselines — the buffer disciplines BTrace is evaluated against
+//!
+//! Faithful re-implementations of the *buffering disciplines* of the four
+//! tracers in the paper's evaluation (§5, Table 1). The tracepoint
+//! front-ends are irrelevant to the comparison; what matters is how each
+//! tracer lays events out in memory and what it does under contention,
+//! wrap-around, and mid-write preemption:
+//!
+//! | Type | Discipline | Availability under preemption |
+//! |------|-----------|-------------------------------|
+//! | [`Bbq`] | one global block queue, overwrite mode | **blocks** until the wrapped block drains |
+//! | [`PerCoreOverwrite`] (ftrace-like) | per-core rings, overwrite oldest | writes are non-preemptible (preemption disabled) |
+//! | [`PerCoreDropNewest`] (LTTng-like) | per-core sub-buffered rings | **drops newest** while a sub-buffer is pinned |
+//! | [`PerThread`] (VTrace-like) | per-thread rings | unaffected (no sharing) but utilization is 1/T |
+//!
+//! All four implement [`btrace_core::sink::TraceSink`], so the replay
+//! harness and benchmarks drive them through exactly the same code paths as
+//! BTrace. Entries use the same on-buffer encoding as `btrace-core`
+//! ([`btrace_core::event::EntryHeader`]) so byte-level accounting is
+//! comparable across tracers.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod bbq;
+mod lttng;
+mod percore;
+mod perthread;
+mod ring;
+mod wordbuf;
+
+pub use bbq::Bbq;
+pub use lttng::PerCoreDropNewest;
+pub use percore::PerCoreOverwrite;
+pub use perthread::PerThread;

@@ -1,0 +1,218 @@
+//! A single-writer, overwrite-oldest byte ring — the building block of the
+//! ftrace-like and VTrace-like baselines.
+//!
+//! Entries use the shared [`EntryHeader`] encoding. The writer keeps two
+//! monotone byte offsets, `head` (next write) and `tail` (oldest retained);
+//! writing evicts whole entries from the tail until the new entry fits.
+//! Entries never straddle the wrap point: the residual tail of the buffer is
+//! covered by a dummy entry instead.
+//!
+//! Write access requires `&mut self`; owners serialize writers externally
+//! (a per-core mutex standing in for ftrace's preemption-disabled section,
+//! or per-thread exclusivity in the VTrace model).
+
+use crate::wordbuf::WordBuf;
+use btrace_core::event::{encoded_len, EntryHeader, EntryKind, HEADER_BYTES};
+use btrace_core::sink::{CollectedEvent, FullEvent};
+
+#[derive(Debug)]
+pub(crate) struct OverwriteRing {
+    buf: WordBuf,
+    cap: usize,
+    /// Monotone byte offset of the next write.
+    head: u64,
+    /// Monotone byte offset of the oldest retained entry.
+    tail: u64,
+    /// Events evicted by overwrite (diagnostics).
+    overwritten: u64,
+}
+
+impl OverwriteRing {
+    /// Creates a ring of `bytes` capacity (rounded down to whole words,
+    /// minimum one maximal entry).
+    pub(crate) fn new(bytes: usize) -> Self {
+        let cap = (bytes & !7).max(64);
+        Self { buf: WordBuf::new(cap), cap, head: 0, tail: 0, overwritten: 0 }
+    }
+
+    pub(crate) fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Whether an entry with `payload_len` bytes can ever be stored.
+    pub(crate) fn fits(&self, payload_len: usize) -> bool {
+        encoded_len(payload_len) <= self.cap
+    }
+
+    /// Appends an entry, evicting the oldest entries as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the encoded entry exceeds the ring capacity; call
+    /// [`OverwriteRing::fits`] first.
+    pub(crate) fn write(&mut self, stamp: u64, tid: u32, core: u16, payload: &[u8]) {
+        let need = encoded_len(payload.len());
+        assert!(need <= self.cap, "entry of {need} bytes exceeds ring capacity {}", self.cap);
+        loop {
+            let at = (self.head % self.cap as u64) as usize;
+            let room = self.cap - at;
+            if room >= need {
+                self.make_room(need as u64);
+                let pad = need - HEADER_BYTES - payload.len();
+                let header = EntryHeader {
+                    len: need as u16,
+                    kind: EntryKind::Data,
+                    pad: pad as u8,
+                    core: core as u8,
+                    tid,
+                    stamp,
+                };
+                self.buf.store_words(at, &header.encode());
+                self.buf.store_bytes(at + HEADER_BYTES, payload);
+                self.head += need as u64;
+                return;
+            }
+            // Pad out the wrap tail with a dummy, then retry at offset 0.
+            self.make_room(room as u64);
+            let header = EntryHeader {
+                len: room as u16,
+                kind: EntryKind::Dummy,
+                pad: 0,
+                core: 0,
+                tid: 0,
+                stamp: 0,
+            };
+            let words = header.encode();
+            let take = if room >= HEADER_BYTES { 2 } else { 1 };
+            self.buf.store_words(at, &words[..take]);
+            self.head += room as u64;
+        }
+    }
+
+    /// Evicts whole entries from the tail until `need` more bytes fit.
+    fn make_room(&mut self, need: u64) {
+        while self.head + need - self.tail > self.cap as u64 {
+            let at = (self.tail % self.cap as u64) as usize;
+            let mut words = [0u64; 2];
+            let take = if self.cap - at >= HEADER_BYTES { 2 } else { 1 };
+            self.buf.load_words(at, &mut words[..take]);
+            let header = EntryHeader::decode(words).expect("ring corrupted: undecodable entry at tail");
+            if header.kind == EntryKind::Data {
+                self.overwritten += 1;
+            }
+            self.tail += header.len as u64;
+        }
+    }
+
+    /// Returns the retained events with payloads, oldest first.
+    pub(crate) fn drain_full(&self) -> Vec<FullEvent> {
+        let mut out = Vec::new();
+        let mut pos = self.tail;
+        while pos < self.head {
+            let at = (pos % self.cap as u64) as usize;
+            let mut words = [0u64; 2];
+            let take = if self.cap - at >= HEADER_BYTES { 2 } else { 1 };
+            self.buf.load_words(at, &mut words[..take]);
+            let Some(header) = EntryHeader::decode(words) else { break };
+            if header.kind == EntryKind::Data {
+                let payload_len = header.payload_len().unwrap_or(0);
+                out.push(FullEvent {
+                    stamp: header.stamp,
+                    core: header.core as u16,
+                    tid: header.tid,
+                    payload: self.buf.load_bytes(at + HEADER_BYTES, payload_len),
+                });
+            }
+            pos += header.len as u64;
+        }
+        out
+    }
+
+    /// Returns the retained events, oldest first.
+    pub(crate) fn drain(&self) -> Vec<CollectedEvent> {
+        let mut out = Vec::new();
+        let mut pos = self.tail;
+        while pos < self.head {
+            let at = (pos % self.cap as u64) as usize;
+            let mut words = [0u64; 2];
+            let take = if self.cap - at >= HEADER_BYTES { 2 } else { 1 };
+            self.buf.load_words(at, &mut words[..take]);
+            let Some(header) = EntryHeader::decode(words) else { break };
+            if header.kind == EntryKind::Data {
+                out.push(CollectedEvent {
+                    stamp: header.stamp,
+                    core: header.core as u16,
+                    tid: header.tid,
+                    stored_bytes: header.len as u32,
+                });
+            }
+            pos += header.len as u64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_drain_in_order() {
+        let mut r = OverwriteRing::new(1024);
+        for i in 0..10u64 {
+            r.write(i, 1, 2, b"payload");
+        }
+        let out = r.drain();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0].stamp, 0);
+        assert_eq!(out[9].stamp, 9);
+        assert_eq!(out[0].core, 2);
+        assert_eq!(out[0].tid, 1);
+        assert_eq!(r.overwritten(), 0);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut r = OverwriteRing::new(256);
+        // 24-byte entries: 256/24 -> at most 10 retained.
+        for i in 0..100u64 {
+            r.write(i, 0, 0, b"12345678");
+        }
+        let out = r.drain();
+        assert!(!out.is_empty());
+        assert_eq!(out.last().unwrap().stamp, 99, "newest must be retained");
+        // Retained stamps are a contiguous suffix.
+        for w in out.windows(2) {
+            assert_eq!(w[1].stamp, w[0].stamp + 1);
+        }
+        assert!(r.overwritten() > 0);
+    }
+
+    #[test]
+    fn variable_sizes_wrap_correctly() {
+        let mut r = OverwriteRing::new(128);
+        let payloads: Vec<Vec<u8>> = (0..50).map(|i| vec![b'x'; (i * 7) % 40]).collect();
+        for (i, p) in payloads.iter().enumerate() {
+            r.write(i as u64, 0, 0, p);
+        }
+        let out = r.drain();
+        assert_eq!(out.last().unwrap().stamp, 49);
+        for w in out.windows(2) {
+            assert_eq!(w[1].stamp, w[0].stamp + 1);
+        }
+    }
+
+    #[test]
+    fn fits_checks_capacity() {
+        let r = OverwriteRing::new(64);
+        assert!(r.fits(16));
+        assert!(!r.fits(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds ring capacity")]
+    fn oversized_write_panics() {
+        let mut r = OverwriteRing::new(64);
+        r.write(0, 0, 0, &[0u8; 128]);
+    }
+}

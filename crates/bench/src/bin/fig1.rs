@@ -1,0 +1,37 @@
+//! Regenerates **Figure 1**: retention maps comparing the tracers on the
+//! lock-screen scenario (idle big/middle cores) and the shopping-app
+//! scenario (imbalanced production + oversubscription). The X axis covers
+//! the last `N` written events, newest to the right; `█` is retained, `·`
+//! dropped.
+//!
+//! ```text
+//! cargo run -p btrace-bench --release --bin fig1 -- [--scale 0.25]
+//! ```
+
+use btrace_analysis::{gap_map, GapMapOptions};
+use btrace_bench::harness::{config_from_args, run_tracer, TRACERS};
+use btrace_replay::scenarios;
+
+fn main() {
+    let config = config_from_args(0.25);
+    for (title, scenario_name) in
+        [("(a) Lock screen scenario", "LockScr."), ("(b) Running shopping app", "eShop-1")]
+    {
+        let scenario = scenarios::by_name(scenario_name).expect("scenario exists");
+        println!("{title} — last N written events (newest right)\n");
+        for tracer in TRACERS {
+            let outcome = run_tracer(tracer, scenario, &config);
+            // N = the number of events that would fit the buffer if stored
+            // contiguously: written_bytes/written gives the mean entry size.
+            let mean_entry = (outcome.report.written_bytes / outcome.report.written.max(1)).max(1);
+            let window = (outcome.report.capacity_bytes as u64 / mean_entry).min(outcome.report.written);
+            let map = gap_map(
+                &outcome.report.retained_stamps(),
+                outcome.report.written.saturating_sub(1),
+                GapMapOptions { window, width: 72 },
+            );
+            println!("{:<8}|{map}|", outcome.tracer);
+        }
+        println!();
+    }
+}

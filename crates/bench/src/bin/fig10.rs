@@ -1,0 +1,63 @@
+//! Regenerates **Figure 10**: the size of BTrace's latest fragment as the
+//! number of active blocks sweeps from 1× to 64× the core count, under
+//! core-level and thread-level replay. Too few active blocks close
+//! partially filled blocks; too many cap the effectivity ratio at
+//! `1 − A/N` — the sweet spot the paper picks is 16×C (§5.1).
+//!
+//! ```text
+//! cargo run -p btrace-bench --release --bin fig10 -- [--scale 0.05]
+//! ```
+
+use btrace_analysis::{analyze, BoxStats, Table};
+use btrace_bench::harness::{btrace_with_active, config_from_args, CORES};
+use btrace_replay::{scenarios, ReplayMode, Replayer};
+
+fn main() {
+    let base = config_from_args(0.05);
+    let multipliers = [1usize, 2, 4, 8, 16, 32, 64];
+
+    let mut table = Table::new(vec![
+        "Mode".into(),
+        "A".into(),
+        "q1 (MB)".into(),
+        "median (MB)".into(),
+        "q3 (MB)".into(),
+        "min".into(),
+        "max".into(),
+    ]);
+
+    for mode in [ReplayMode::CoreLevel, ReplayMode::ThreadLevel] {
+        for &m in &multipliers {
+            let active = m * CORES;
+            let mut fragments_kb: Vec<u64> = Vec::new();
+            for scenario in scenarios::all() {
+                let tracer = btrace_with_active(active);
+                let mut config = base.clone().mode(mode);
+                // Keep preemption pressure IDENTICAL across the sweep (one
+                // parked writer per core) so the A-dependence is isolated;
+                // at A = C there is no slack for pinned blocks at all, so
+                // that row runs without mid-write preemption.
+                config.max_parked_per_core = usize::from(active > CORES);
+                let report = Replayer::new(scenario, config).run(&tracer);
+                let metrics = analyze(&report.retained, report.capacity_bytes);
+                fragments_kb.push(metrics.latest_fragment_bytes / 1024);
+            }
+            let b = BoxStats::from_samples(fragments_kb.clone()).expect("non-empty");
+            let min = *fragments_kb.iter().min().expect("non-empty");
+            let max = *fragments_kb.iter().max().expect("non-empty");
+            table.row(vec![
+                format!("{mode:?}"),
+                format!("{m}xC={active}"),
+                format!("{:.2}", b.q1 / 1024.0),
+                format!("{:.2}", b.median / 1024.0),
+                format!("{:.2}", b.q3 / 1024.0),
+                format!("{:.2}", min as f64 / 1024.0),
+                format!("{:.2}", max as f64 / 1024.0),
+            ]);
+            eprint!("\r{mode:?} A={active}          ");
+        }
+    }
+    eprintln!();
+    println!("{}", table.render());
+    println!("(12 MB buffer; the paper's sweet spot is A = 16xC, §5.1)");
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Figure 11**: recording-latency CDFs for the eShop-2
+//! workload and over all workloads, per tracer.
+//!
+//! ```text
+//! cargo run -p btrace-bench --release --bin fig11 -- [--scale 0.1]
+//! ```
+
+use btrace_analysis::{LatencyStats, Table};
+use btrace_bench::harness::{config_from_args, run_tracer, TRACERS};
+use btrace_replay::scenarios;
+
+fn main() {
+    let mut config = config_from_args(0.1);
+    config.latency_sample_every = 16;
+
+    // (a) eShop-2 workload.
+    let eshop = scenarios::by_name("eShop-2").expect("scenario exists");
+    let mut per_tracer: Vec<(&'static str, Vec<u64>)> = Vec::new();
+    let mut overall: Vec<(&'static str, Vec<u64>)> = TRACERS.iter().map(|&t| (t, Vec::new())).collect();
+
+    for (ti, &tracer) in TRACERS.iter().enumerate() {
+        let outcome = run_tracer(tracer, eshop, &config);
+        per_tracer.push((outcome.tracer, outcome.report.latencies_ns.clone()));
+        overall[ti].1.extend(outcome.report.latencies_ns);
+        // (b) pool the remaining workloads for the overall CDF.
+        for scenario in scenarios::all().iter().filter(|s| s.name != "eShop-2") {
+            let outcome = run_tracer(tracer, scenario, &config);
+            overall[ti].1.extend(outcome.report.latencies_ns);
+        }
+        eprint!("\r{tracer} done        ");
+    }
+    eprintln!();
+
+    print_cdf("(a) eShop-2 workload", &per_tracer);
+    print_cdf("(b) Overall latency", &overall);
+}
+
+fn print_cdf(title: &str, series: &[(&'static str, Vec<u64>)]) {
+    println!("{title}\n");
+    let mut table = Table::new(vec![
+        "Tracer".into(),
+        "geo-mean".into(),
+        "p50".into(),
+        "p90".into(),
+        "p99".into(),
+        "CDF (share <= 100/200/400/800/1600 ns)".into(),
+    ]);
+    for (name, samples) in series {
+        let stats = LatencyStats::from_samples(samples.clone());
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let shares: Vec<String> = [100u64, 200, 400, 800, 1600]
+            .iter()
+            .map(|&x| {
+                let below = sorted.partition_point(|&v| v <= x);
+                format!("{:.0}%", 100.0 * below as f64 / sorted.len().max(1) as f64)
+            })
+            .collect();
+        table.row(vec![
+            name.to_string(),
+            format!("{:.0} ns", stats.geomean_ns),
+            format!("{:.0} ns", stats.p50_ns),
+            format!("{:.0} ns", stats.p90_ns),
+            format!("{:.0} ns", stats.p99_ns),
+            shares.join(" / "),
+        ]);
+    }
+    println!("{}", table.render());
+}

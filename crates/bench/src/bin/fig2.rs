@@ -1,0 +1,35 @@
+//! Regenerates **Figure 2**: trace production speed of the atrace
+//! categories in MB per core per minute, with the level that enables each
+//! (Fig. 3's level structure).
+//!
+//! ```text
+//! cargo run -p btrace-bench --release --bin fig2
+//! ```
+
+use btrace_analysis::Table;
+use btrace_replay::model::{level_rate_mb_per_core_min, TraceLevel, CATEGORIES};
+
+fn main() {
+    let mut table = Table::new(vec!["Category".into(), "MB/core/min".into(), "Level".into(), "Bar".into()]);
+    let mut sorted = CATEGORIES.to_vec();
+    sorted.sort_by(|a, b| b.mb_per_core_min.total_cmp(&a.mb_per_core_min));
+    let max = sorted.first().map(|c| c.mb_per_core_min).unwrap_or(1.0);
+    for c in &sorted {
+        let bar = "#".repeat(((c.mb_per_core_min / max) * 40.0).round() as usize);
+        table.row(vec![
+            c.name.to_string(),
+            format!("{:>6.1}", c.mb_per_core_min),
+            format!("{}", c.level as u8),
+            bar,
+        ]);
+    }
+    println!("{}", table.render());
+    for level in [TraceLevel::Level1, TraceLevel::Level2, TraceLevel::Level3] {
+        println!(
+            "level {} total: {:>6.1} MB/core/min ({:.0} MB/min on the 12-core device)",
+            level as u8,
+            level_rate_mb_per_core_min(level),
+            level_rate_mb_per_core_min(level) * 12.0
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Regenerates **Figure 3**: how many seconds of level-1/2/3 traces each
+//! tracer can retain continuously in a fixed buffer.
+//!
+//! The paper uses a 450 MB buffer on the phone; here the buffer is 12 MB
+//! and the rates are scaled identically, so the *seconds of retainable
+//! trace* are comparable: BTrace's latest fragment covers (nearly) the full
+//! buffer while per-core tracers cover a fraction, which is exactly why the
+//! paper's BTrace holds 30 s of level-3 data where ftrace holds only
+//! level-2 (Fig. 3's horizontal lines).
+//!
+//! ```text
+//! cargo run -p btrace-bench --release --bin fig3 -- [--scale 0.25]
+//! ```
+
+use btrace_analysis::Table;
+use btrace_bench::harness::{config_from_args, run_tracer, TOTAL_BYTES, TRACERS};
+use btrace_core::event::encoded_len;
+use btrace_replay::model::{level_rate_mb_per_core_min, TraceLevel, TRACE_SECONDS};
+use btrace_replay::{scenarios, Scenario};
+
+fn main() {
+    let mut config = config_from_args(0.0);
+    let base = scenarios::by_name("Desktop").expect("scenario exists");
+    let l3 = level_rate_mb_per_core_min(TraceLevel::Level3);
+
+    // The paper sizes its 450 MB buffer to hold ~30 s of level-3 traces;
+    // mirror that here: pick the scale at which the level-3 workload's full
+    // volume is ~90% of our 12 MB buffer (a near-ideal tracer can then hold
+    // the *entire* window at level 3, and proportionally longer at lower
+    // levels). A --scale argument overrides.
+    if config.scale == 0.0 {
+        // Bursty slices emit 1/8 of their nominal volume (see the replay
+        // engine), so correct the expected volume for the burst fraction.
+        let burst_factor = 1.0 - base.burstiness as f64 * (7.0 / 8.0);
+        let bytes_at_scale_1 = base.total_events() as f64
+            * encoded_len(base.mean_payload as usize) as f64
+            * burst_factor;
+        config.scale = 0.85 * TOTAL_BYTES as f64 / bytes_at_scale_1;
+    }
+    let window_sec = TRACE_SECONDS as f64 * config.scale;
+
+    let mut table = Table::new(vec![
+        "Level".into(),
+        "Tracer".into(),
+        "Latest fragment (MB)".into(),
+        "Retained seconds / window".into(),
+        "Full window?".into(),
+    ]);
+
+    for level in [TraceLevel::Level1, TraceLevel::Level2, TraceLevel::Level3] {
+        let factor = level_rate_mb_per_core_min(level) / l3;
+        // Scale the Desktop workload's rates to the level's volume.
+        let mut scenario = base.clone();
+        for rate in &mut scenario.core_rates {
+            *rate = (*rate as f64 * factor).round() as u32;
+        }
+        let scenario: &'static Scenario = Box::leak(Box::new(scenario));
+        for tracer in TRACERS {
+            let outcome = run_tracer(tracer, scenario, &config);
+            // Bytes the workload produces per virtual second (all cores).
+            let per_vsec = outcome.report.written_bytes as f64 / window_sec;
+            let retained_sec = (outcome.metrics.latest_fragment_bytes as f64 / per_vsec).min(window_sec);
+            table.row(vec![
+                format!("{}", level as u8),
+                outcome.tracer.to_string(),
+                format!("{:.2}", outcome.metrics.latest_fragment_bytes as f64 / (1 << 20) as f64),
+                format!("{:.1} / {window_sec:.1}", retained_sec),
+                if retained_sec >= 0.97 * window_sec { "yes".into() } else { "no".to_string() },
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("(retained seconds = latest fragment / workload volume per second; the paper's");
+    println!(" 450 MB buffer and this 12 MB buffer scale identically)");
+}

@@ -1,0 +1,40 @@
+//! Regenerates **Figure 4**: average per-core trace speed (thousands of
+//! entries per second) for selected workloads, both as modelled and as
+//! realized by a replay.
+//!
+//! ```text
+//! cargo run -p btrace-bench --release --bin fig4 -- [--scale 0.1]
+//! ```
+
+use btrace_analysis::Table;
+use btrace_bench::harness::{btrace, config_from_args};
+use btrace_replay::model::TRACE_SECONDS;
+use btrace_replay::{scenarios, Replayer};
+
+const SELECTED: [&str; 6] = ["Desktop", "Video-1", "Video-2", "eShop-1", "LockScr.", "IM"];
+
+fn main() {
+    let config = config_from_args(0.1);
+    let mut header = vec!["Workload".to_string()];
+    header.extend((0..12).map(|c| format!("C{c}")));
+    let mut model_table = Table::new(header.clone());
+    let mut measured_table = Table::new(header);
+
+    for name in SELECTED {
+        let scenario = scenarios::by_name(name).expect("scenario exists");
+        let mut cells = vec![name.to_string()];
+        cells.extend(scenario.core_rates.iter().map(|r| format!("{:.1}", *r as f64 / 1000.0)));
+        model_table.row(cells);
+
+        let report = Replayer::new(scenario, config.clone()).run(&btrace());
+        let mut cells = vec![name.to_string()];
+        cells.extend(report.written_per_core.iter().map(|&w| {
+            format!("{:.1}", w as f64 / (TRACE_SECONDS as f64 * config.scale) / 1000.0)
+        }));
+        measured_table.row(cells);
+    }
+    println!("Modelled rates (k entries/sec/core; cores 0-3 little, 4-9 middle, 10-11 big):\n");
+    println!("{}", model_table.render());
+    println!("Realized by replay (k entries/sec/core, virtual time):\n");
+    println!("{}", measured_table.render());
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Table 2**: latest fragment (MB), loss rate, number of
+//! fragments, and geometric-mean recording latency for all five tracers
+//! across the 20 replay workloads, plus the G.M. column.
+//!
+//! ```text
+//! cargo run -p btrace-bench --release --bin table2 -- [--scale 0.25]
+//! ```
+
+use btrace_analysis::Table;
+use btrace_bench::harness::{config_from_args, geomean_f64, run_tracer, Outcome, TRACERS};
+use btrace_replay::scenarios;
+
+fn main() {
+    let config = config_from_args(0.25);
+    eprintln!(
+        "table2: thread-level replay, 12 MB buffer, scale {} ({} workloads x {} tracers)",
+        config.scale,
+        scenarios::all().len(),
+        TRACERS.len()
+    );
+
+    // outcomes[tracer][scenario]
+    let mut outcomes: Vec<Vec<Outcome>> = Vec::new();
+    for tracer in TRACERS {
+        let mut row = Vec::new();
+        for scenario in scenarios::all() {
+            eprint!("\r  {tracer:<8} {:<10}          ", scenario.name);
+            row.push(run_tracer(tracer, scenario, &config));
+        }
+        outcomes.push(row);
+    }
+    eprintln!();
+
+    let names: Vec<String> = scenarios::all().iter().map(|s| s.name.to_string()).collect();
+    let mut header = vec!["Metric/Tracer".to_string()];
+    header.extend(names.iter().cloned());
+    header.push("G.M.".to_string());
+
+    let mut table = Table::new(header);
+    section(&mut table, "Latest (MB)", &outcomes, |o| o.metrics.latest_fragment_bytes as f64 / (1 << 20) as f64, 2);
+    section(&mut table, "Loss rate", &outcomes, |o| o.metrics.loss_rate, 2);
+    section(&mut table, "# Fragments", &outcomes, |o| o.metrics.fragments as f64, 0);
+    section(&mut table, "Latency (ns)", &outcomes, |o| o.latency.geomean_ns, 0);
+    println!("{}", table.render());
+}
+
+fn section(table: &mut Table, metric: &str, outcomes: &[Vec<Outcome>], f: impl Fn(&Outcome) -> f64, prec: usize) {
+    table.row(vec![format!("-- {metric} --")]);
+    for row in outcomes {
+        let values: Vec<f64> = row.iter().map(&f).collect();
+        let mut cells = vec![format!("{} {}", metric_abbrev(metric), row[0].tracer)];
+        cells.extend(values.iter().map(|v| format!("{v:.prec$}")));
+        cells.push(format!("{:.prec$}", geomean_f64(&values)));
+        table.row(cells);
+    }
+}
+
+fn metric_abbrev(metric: &str) -> &'static str {
+    match metric {
+        "Latest (MB)" => "MB",
+        "Loss rate" => "loss",
+        "# Fragments" => "frag",
+        _ => "ns",
+    }
+}

@@ -1,0 +1,164 @@
+//! Shared harness for the table/figure binaries: construct the five
+//! tracers under the paper's §5 configuration and run replays.
+
+use btrace_analysis::{analyze, LatencyStats, Metrics};
+use btrace_baselines::{Bbq, PerCoreDropNewest, PerCoreOverwrite, PerThread};
+use btrace_core::{BTrace, Config};
+use btrace_replay::{ReplayConfig, ReplayReport, Replayer, Scenario};
+
+/// The evaluation buffer: 12 MB total, 4 KiB blocks, `A = 16 × C` (§5).
+pub const TOTAL_BYTES: usize = 12 << 20;
+/// Data block size (one page).
+pub const BLOCK_BYTES: usize = 4096;
+/// Cores of the simulated phone.
+pub const CORES: usize = 12;
+/// LTTng sub-buffers per core (lttng-ust default of 4).
+pub const LTTNG_SUBS: usize = 4;
+
+/// Tracer identifiers, in the paper's presentation order.
+pub const TRACERS: [&str; 5] = ["BTrace", "BBQ", "ftrace", "LTTng", "VTrace"];
+
+/// Builds the BTrace instance under the evaluation configuration, with a
+/// caller-chosen number of active blocks.
+pub fn btrace_with_active(active: usize) -> BTrace {
+    let stride = BLOCK_BYTES * active;
+    // Round the 12 MB budget to the resize stride.
+    let buffer = (TOTAL_BYTES / stride).max(1) * stride;
+    BTrace::new(Config::new(CORES).active_blocks(active).block_bytes(BLOCK_BYTES).buffer_bytes(buffer))
+        .expect("evaluation configuration is valid")
+}
+
+/// The default BTrace (sweet spot `A = 16 × C`, §5.1).
+pub fn btrace() -> BTrace {
+    btrace_with_active(16 * CORES)
+}
+
+/// One (metrics, latency) outcome of a replay.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Tracer name.
+    pub tracer: &'static str,
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Retention metrics.
+    pub metrics: Metrics,
+    /// Latency summary (empty sample when sampling was off).
+    pub latency: LatencyStats,
+    /// The raw report (for gap maps and CDFs).
+    pub report: ReplayReport,
+}
+
+/// Replays `scenario` against one named tracer under the §5 configuration.
+pub fn run_tracer(name: &str, scenario: &'static Scenario, config: &ReplayConfig) -> Outcome {
+    let replayer = Replayer::new(scenario, config.clone());
+    let expected_threads = scenario.total_threads_per_core as usize * CORES;
+    let report = match name {
+        "BTrace" => replayer.run(&btrace()),
+        "BBQ" => replayer.run(&Bbq::new(TOTAL_BYTES, BLOCK_BYTES)),
+        "ftrace" => replayer.run(&PerCoreOverwrite::new(CORES, TOTAL_BYTES)),
+        "LTTng" => replayer.run(&PerCoreDropNewest::new(CORES, TOTAL_BYTES, LTTNG_SUBS)),
+        "VTrace" => replayer.run(&PerThread::new(TOTAL_BYTES, expected_threads)),
+        other => panic!("unknown tracer {other}"),
+    };
+    outcome_of(static_name(name), scenario, report)
+}
+
+/// Wraps a finished report in an [`Outcome`].
+pub fn outcome_of(tracer: &'static str, scenario: &Scenario, report: ReplayReport) -> Outcome {
+    let metrics = analyze(&report.retained, report.capacity_bytes);
+    let latency = LatencyStats::from_samples(report.latencies_ns.clone());
+    Outcome { tracer, scenario: scenario.name, metrics, latency, report }
+}
+
+/// Resolves the static name for a tracer string (the outcome carries a
+/// `'static` label).
+pub fn static_name(name: &str) -> &'static str {
+    TRACERS.iter().copied().find(|&t| t == name).unwrap_or("?")
+}
+
+/// Parses `--scale X` / `--mode core|thread` style CLI arguments shared by
+/// all figure binaries. Unknown arguments are ignored so binaries can layer
+/// their own.
+pub fn config_from_args(default_scale: f64) -> ReplayConfig {
+    let mut config = ReplayConfig {
+        scale: default_scale,
+        latency_sample_every: 64,
+        ..ReplayConfig::table2()
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    config.scale = v;
+                    i += 1;
+                }
+            }
+            "--mode" => {
+                if let Some(v) = args.get(i + 1) {
+                    config.mode = match v.as_str() {
+                        "core" => btrace_replay::ReplayMode::CoreLevel,
+                        _ => btrace_replay::ReplayMode::ThreadLevel,
+                    };
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    config.seed = v;
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    config
+}
+
+/// Geometric mean over per-scenario values (the Table 2 "G.M." column).
+pub fn geomean_f64(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (sum / values.len() as f64).exp()
+}
+
+/// Formats bytes as MB with one decimal.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1 << 20) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrace_replay::scenarios;
+
+    #[test]
+    fn btrace_matches_evaluation_geometry() {
+        let t = btrace();
+        assert_eq!(t.cores(), 12);
+        assert_eq!(t.block_bytes(), 4096);
+        assert_eq!(t.active_blocks(), 192);
+        assert_eq!(t.capacity_bytes(), 12 << 20);
+    }
+
+    #[test]
+    fn run_tracer_produces_outcomes_for_all_five() {
+        let scenario = scenarios::by_name("Music").unwrap();
+        let config = ReplayConfig { scale: 0.002, slices: 4, latency_sample_every: 32, ..ReplayConfig::table2() };
+        for name in TRACERS {
+            let outcome = run_tracer(name, scenario, &config);
+            assert_eq!(outcome.tracer, static_name(name));
+            assert!(outcome.report.written > 0, "{name} wrote nothing");
+        }
+    }
+
+    #[test]
+    fn geomean_f64_basics() {
+        assert!((geomean_f64(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(geomean_f64(&[]), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Hand-rolled argument parsing (no CLI dependency in the offline set).
+
+/// Usage text shown by `help` and on errors.
+pub const USAGE: &str = "\
+btrace — block-based mobile tracing toolkit
+
+USAGE:
+    btrace <COMMAND> [OPTIONS]
+
+COMMANDS:
+    scenarios                      list the built-in replay workloads
+    demo                           run a quick synthetic demo
+    replay                         replay a workload against one tracer
+        --scenario <NAME>          workload (default eShop-1)
+        --tracer <NAME>            BTrace|BBQ|ftrace|LTTng|VTrace (default BTrace)
+        --scale <F>                fraction of the 30 s workload (default 0.05)
+    dump                           replay, then persist the buffer to a file
+        --scenario <NAME>          workload (default eShop-1)
+        --out <FILE>               output path (default trace.btd)
+        --scale <F>                fraction of the 30 s workload (default 0.05)
+    inspect <FILE>                 analyze a dump file
+        --map                      also print the retention gap map
+    help                           show this text
+";
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List scenarios.
+    Scenarios,
+    /// Quick demo.
+    Demo,
+    /// Replay one scenario against one tracer.
+    Replay {
+        /// Scenario name.
+        scenario: String,
+        /// Tracer name.
+        tracer: String,
+        /// Workload scale.
+        scale: f64,
+    },
+    /// Replay and persist.
+    Dump {
+        /// Scenario name.
+        scenario: String,
+        /// Output path.
+        out: String,
+        /// Workload scale.
+        scale: f64,
+    },
+    /// Analyze a dump file.
+    Inspect {
+        /// Dump path.
+        file: String,
+        /// Whether to print the gap map.
+        map: bool,
+    },
+    /// Show usage.
+    Help,
+}
+
+/// Parses the argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else { return Ok(Command::Help) };
+    match cmd.as_str() {
+        "scenarios" => Ok(Command::Scenarios),
+        "demo" => Ok(Command::Demo),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "replay" => {
+            let opts = options(it.as_slice(), &["--scenario", "--tracer", "--scale"])?;
+            Ok(Command::Replay {
+                scenario: opts.get("--scenario").cloned().unwrap_or_else(|| "eShop-1".into()),
+                tracer: opts.get("--tracer").cloned().unwrap_or_else(|| "BTrace".into()),
+                scale: parse_scale(opts.get("--scale"))?,
+            })
+        }
+        "dump" => {
+            let opts = options(it.as_slice(), &["--scenario", "--out", "--scale"])?;
+            Ok(Command::Dump {
+                scenario: opts.get("--scenario").cloned().unwrap_or_else(|| "eShop-1".into()),
+                out: opts.get("--out").cloned().unwrap_or_else(|| "trace.btd".into()),
+                scale: parse_scale(opts.get("--scale"))?,
+            })
+        }
+        "inspect" => {
+            let mut file = None;
+            let mut map = false;
+            for arg in it {
+                match arg.as_str() {
+                    "--map" => map = true,
+                    other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+                    other => {
+                        if file.replace(other.to_string()).is_some() {
+                            return Err("inspect takes exactly one file".into());
+                        }
+                    }
+                }
+            }
+            let file = file.ok_or("inspect requires a file argument")?;
+            Ok(Command::Inspect { file, map })
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn options(
+    rest: &[String],
+    allowed: &[&str],
+) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut out = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = &rest[i];
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("unknown option {key}"));
+        }
+        let value = rest.get(i + 1).ok_or_else(|| format!("{key} requires a value"))?;
+        out.insert(key.clone(), value.clone());
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn parse_scale(value: Option<&String>) -> Result<f64, String> {
+    match value {
+        None => Ok(0.05),
+        Some(v) => {
+            let scale: f64 = v.parse().map_err(|_| format!("invalid --scale {v}"))?;
+            if scale <= 0.0 || scale > 1.0 {
+                return Err(format!("--scale must be in (0, 1], got {scale}"));
+            }
+            Ok(scale)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_each_command() {
+        assert_eq!(parse(&argv("scenarios")), Ok(Command::Scenarios));
+        assert_eq!(parse(&argv("demo")), Ok(Command::Demo));
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert_eq!(parse(&argv("--help")), Ok(Command::Help));
+        assert_eq!(
+            parse(&argv("replay --scenario IM --tracer LTTng --scale 0.2")),
+            Ok(Command::Replay { scenario: "IM".into(), tracer: "LTTng".into(), scale: 0.2 })
+        );
+        assert_eq!(
+            parse(&argv("dump --out x.btd")),
+            Ok(Command::Dump { scenario: "eShop-1".into(), out: "x.btd".into(), scale: 0.05 })
+        );
+        assert_eq!(
+            parse(&argv("inspect x.btd --map")),
+            Ok(Command::Inspect { file: "x.btd".into(), map: true })
+        );
+    }
+
+    #[test]
+    fn defaults_apply() {
+        match parse(&argv("replay")).unwrap() {
+            Command::Replay { scenario, tracer, scale } => {
+                assert_eq!(scenario, "eShop-1");
+                assert_eq!(tracer, "BTrace");
+                assert_eq!(scale, 0.05);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("replay --bogus 1")).is_err());
+        assert!(parse(&argv("replay --scale")).is_err());
+        assert!(parse(&argv("replay --scale nan-ish")).is_err());
+        assert!(parse(&argv("replay --scale 5.0")).is_err());
+        assert!(parse(&argv("inspect")).is_err());
+        assert!(parse(&argv("inspect a b")).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Command implementations. Each returns a process exit code.
+
+use btrace_analysis::{analyze, by_core, by_thread, core_skew, gap_map, GapMapOptions, Table};
+use btrace_baselines::{Bbq, PerCoreDropNewest, PerCoreOverwrite, PerThread};
+use btrace_core::sink::CollectedEvent;
+use btrace_core::{BTrace, Config};
+use btrace_persist::TraceDump;
+use btrace_replay::{scenarios, ReplayConfig, ReplayReport, Replayer};
+use std::path::Path;
+
+const CORES: usize = 12;
+const TOTAL: usize = 12 << 20;
+const BLOCK: usize = 4096;
+
+/// `btrace scenarios`
+pub fn scenarios() -> i32 {
+    let mut table = Table::new(vec![
+        "Name".into(),
+        "Events (30 s)".into(),
+        "Skew".into(),
+        "Threads/core/s".into(),
+        "Threads/core 30s".into(),
+    ]);
+    for s in scenarios::all() {
+        table.row(vec![
+            s.name.to_string(),
+            s.total_events().to_string(),
+            format!("{:.1}x", s.skew()),
+            s.threads_per_core_sec.to_string(),
+            s.total_threads_per_core.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    0
+}
+
+/// `btrace demo`
+pub fn demo() -> i32 {
+    let tracer = match BTrace::new(
+        Config::new(4).active_blocks(64).block_bytes(BLOCK).buffer_bytes(1 << 20),
+    ) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    std::thread::scope(|scope| {
+        for core in 0..4 {
+            let producer = tracer.producer(core).expect("core in range");
+            scope.spawn(move || {
+                for i in 0..50_000u64 {
+                    producer
+                        .record_with(core as u64 * 1_000_000 + i, i as u32 % 17, b"demo: synthetic event")
+                        .expect("payload fits");
+                }
+            });
+        }
+    });
+    let readout = tracer.consumer().collect();
+    let stats = tracer.stats();
+    println!("recorded 200000 events from 4 cores into a 1 MiB buffer");
+    println!(
+        "retained {} events ({} KiB) in {} readable blocks",
+        readout.events.len(),
+        readout.stored_bytes() / 1024,
+        readout.blocks.readable
+    );
+    println!(
+        "mechanisms: {} advances, {} closes, {} skips, {:.2}% dummy overhead",
+        stats.advances,
+        stats.closes,
+        stats.skips,
+        stats.dummy_fraction() * 100.0
+    );
+    0
+}
+
+fn run(scenario_name: &str, tracer_name: &str, scale: f64) -> Result<ReplayReport, String> {
+    let scenario = scenarios::by_name(scenario_name)
+        .ok_or_else(|| format!("unknown scenario {scenario_name} (try `btrace scenarios`)"))?;
+    let config = ReplayConfig { scale, latency_sample_every: 64, ..ReplayConfig::table2() };
+    let replayer = Replayer::new(scenario, config);
+    let report = match tracer_name {
+        "BTrace" => {
+            let t = BTrace::new(
+                Config::new(CORES).active_blocks(16 * CORES).block_bytes(BLOCK).buffer_bytes(TOTAL),
+            )
+            .map_err(|e| e.to_string())?;
+            replayer.run(&t)
+        }
+        "BBQ" => replayer.run(&Bbq::new(TOTAL, BLOCK)),
+        "ftrace" => replayer.run(&PerCoreOverwrite::new(CORES, TOTAL)),
+        "LTTng" => replayer.run(&PerCoreDropNewest::new(CORES, TOTAL, 4)),
+        "VTrace" => replayer.run(&PerThread::new(
+            TOTAL,
+            scenario.total_threads_per_core as usize * CORES,
+        )),
+        other => return Err(format!("unknown tracer {other} (BTrace|BBQ|ftrace|LTTng|VTrace)")),
+    };
+    Ok(report)
+}
+
+fn print_report_analysis(events: &[CollectedEvent], capacity: usize, written: Option<u64>) {
+    let metrics = analyze(events, capacity);
+    println!("events retained     {}", metrics.retained_events);
+    if let Some(written) = written {
+        println!("events written      {written}");
+    }
+    println!("retained bytes      {:.2} MB", metrics.retained_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "latest fragment     {:.2} MB ({} events)",
+        metrics.latest_fragment_bytes as f64 / (1 << 20) as f64,
+        metrics.latest_fragment_events
+    );
+    println!("loss rate           {:.2}%", metrics.loss_rate * 100.0);
+    println!("fragments           {}", metrics.fragments);
+    println!("effectivity ratio   {:.3}", metrics.effectivity_ratio);
+    if let Some(skew) = core_skew(events) {
+        println!("core skew           {skew:.1}x");
+    }
+    println!("\nper-core breakdown:");
+    let mut table = Table::new(vec!["Core".into(), "Events".into(), "KiB".into(), "Stamp range".into()]);
+    for c in by_core(events) {
+        table.row(vec![
+            format!("C{}", c.key),
+            c.events.to_string(),
+            (c.bytes / 1024).to_string(),
+            format!("{}..{}", c.oldest, c.newest),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("hottest threads:");
+    let mut table = Table::new(vec!["Tid".into(), "Events".into(), "KiB".into()]);
+    for t in by_thread(events, 8) {
+        table.row(vec![t.key.to_string(), t.events.to_string(), (t.bytes / 1024).to_string()]);
+    }
+    println!("{}", table.render());
+}
+
+/// `btrace replay`
+pub fn replay(scenario: &str, tracer: &str, scale: f64) -> i32 {
+    match run(scenario, tracer, scale) {
+        Ok(report) => {
+            println!("replayed {} against {} (scale {scale})\n", report.scenario, report.tracer);
+            print_report_analysis(&report.retained, report.capacity_bytes, Some(report.written));
+            if report.dropped_at_record > 0 {
+                println!("dropped at record   {}", report.dropped_at_record);
+            }
+            0
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            1
+        }
+    }
+}
+
+/// `btrace dump`
+pub fn dump(scenario: &str, out: &str, scale: f64) -> i32 {
+    let tracer = match BTrace::new(
+        Config::new(CORES).active_blocks(16 * CORES).block_bytes(BLOCK).buffer_bytes(TOTAL),
+    ) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let Some(s) = scenarios::by_name(scenario) else {
+        eprintln!("error: unknown scenario {scenario}");
+        return 1;
+    };
+    let config = ReplayConfig { scale, latency_sample_every: 0, ..ReplayConfig::table2() };
+    Replayer::new(s, config).run(&tracer);
+    let dump = TraceDump::capture(scenario, &tracer);
+    match dump.write_to(Path::new(out)) {
+        Ok(()) => {
+            println!("wrote {} events to {out}", dump.events().len());
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// `btrace inspect`
+pub fn inspect(file: &str, map: bool) -> i32 {
+    let dump = match TraceDump::read_from(Path::new(file)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    println!("dump {file:?}: label {:?}, {} events\n", dump.label(), dump.events().len());
+    let events: Vec<CollectedEvent> = dump
+        .events()
+        .iter()
+        .map(|e| CollectedEvent {
+            stamp: e.stamp,
+            core: e.core,
+            tid: e.tid,
+            stored_bytes: btrace_core::event::encoded_len(e.payload.len()) as u32,
+        })
+        .collect();
+    print_report_analysis(&events, TOTAL, None);
+    if map {
+        let stamps: Vec<u64> = {
+            let mut s: Vec<u64> = events.iter().map(|e| e.stamp).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        if let Some(&newest) = stamps.last() {
+            let window = newest - stamps.first().copied().unwrap_or(0) + 1;
+            println!(
+                "retention map (oldest left, newest right):\n|{}|",
+                gap_map(&stamps, newest, GapMapOptions { window, width: 72 })
+            );
+        }
+    }
+    0
+}

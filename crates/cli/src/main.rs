@@ -1,0 +1,35 @@
+//! `btrace` — the command-line companion tool.
+//!
+//! ```text
+//! btrace scenarios                      list the built-in replay workloads
+//! btrace demo                           quick synthetic demo on this machine
+//! btrace replay --scenario eShop-2 --tracer BTrace [--scale 0.1]
+//! btrace dump --scenario Video-1 --out trace.btd [--scale 0.1]
+//! btrace inspect trace.btd [--map]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args::parse(&args) {
+        Ok(Command::Scenarios) => commands::scenarios(),
+        Ok(Command::Demo) => commands::demo(),
+        Ok(Command::Replay { scenario, tracer, scale }) => commands::replay(&scenario, &tracer, scale),
+        Ok(Command::Dump { scenario, out, scale }) => commands::dump(&scenario, &out, scale),
+        Ok(Command::Inspect { file, map }) => commands::inspect(&file, map),
+        Ok(Command::Help) => {
+            print!("{}", args::USAGE);
+            0
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            eprint!("{}", args::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

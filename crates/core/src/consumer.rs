@@ -1,0 +1,376 @@
+//! The speculative consumer (paper §4.3).
+//!
+//! Reading never blocks producers: the consumer snapshots a block's bytes,
+//! *then* re-validates that the block still belongs to the global sequence
+//! number it expected (via the block header that every round writes first).
+//! A block that was overwritten, skipped, or is mid-write simply fails
+//! validation and is discarded — exactly the paper's "speculatively read,
+//! re-check, abandon" loop.
+
+use crate::buffer::Shared;
+use crate::event::{Event, EntryHeader, EntryKind, HEADER_BYTES};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Why a block contributed no events to a readout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct BlockCounts {
+    /// Blocks whose events were returned.
+    pub readable: usize,
+    /// Blocks currently owned by a producer with unconfirmed writes.
+    pub in_flight: usize,
+    /// Sequence numbers that never materialized (skipped candidates) or
+    /// whose data was already overwritten by a newer round.
+    pub recycled: usize,
+    /// Blocks that failed speculative validation (torn by a concurrent
+    /// writer between snapshot and re-check).
+    pub torn: usize,
+}
+
+/// The result of [`Consumer::collect`].
+#[derive(Debug, Default)]
+#[non_exhaustive]
+pub struct Readout {
+    /// Events in buffer order (ascending block sequence, then offset).
+    pub events: Vec<Event>,
+    /// Per-block accounting of the scan.
+    pub blocks: BlockCounts,
+}
+
+impl Readout {
+    /// Sum of on-buffer bytes of all returned events.
+    pub fn stored_bytes(&self) -> usize {
+        self.events.iter().map(Event::stored_bytes).sum()
+    }
+}
+
+/// A reading handle. Create one per consumer thread via
+/// [`BTrace::consumer`](crate::BTrace::consumer).
+///
+/// Each collect pins the tracer's reclamation domain, so a concurrent
+/// shrink waits for the read to finish before decommitting memory (§4.4).
+pub struct Consumer {
+    shared: Arc<Shared>,
+    participant: btrace_smr::Participant,
+    scratch: Vec<u8>,
+}
+
+impl Consumer {
+    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+        let participant = shared.domain.register();
+        Self { shared, participant, scratch: Vec::new() }
+    }
+
+    /// Collects every currently readable event, oldest block first.
+    ///
+    /// Non-destructive: producers keep writing concurrently, and blocks
+    /// overwritten mid-read are discarded, never returned torn.
+    pub fn collect(&mut self) -> Readout {
+        let _pin = self.participant.pin();
+        let shared = Arc::clone(&self.shared);
+        let head = shared.global_pos().pos;
+        let span = shared.data.region().len() / shared.cfg.block_bytes;
+        let lo = head.saturating_sub(span as u64);
+        let mut readout = Readout::default();
+        for gpos in lo..head {
+            read_block(&shared, &mut self.scratch, gpos, &mut readout);
+        }
+        readout
+    }
+
+    /// Collects like [`Consumer::collect`], then **closes** every core's
+    /// current block — the paper's destructive read (§4.3: "After reading,
+    /// the consumer closes the block by filling the remaining space with
+    /// dummy data and proceeds").
+    ///
+    /// Closing forces each core onto a fresh block on its next record, so
+    /// events recorded after this call land strictly after everything the
+    /// readout returned — the semantics a dump-and-truncate collector wants.
+    /// Producers are never blocked; one that races the close simply advances
+    /// as if its block had filled naturally.
+    pub fn collect_and_close(&mut self) -> Readout {
+        let readout = self.collect();
+        let shared = Arc::clone(&self.shared);
+        let cap = shared.cap();
+        for core in 0..shared.cfg.cores {
+            let local = shared.core_local(core);
+            let map = shared.history.map(local.pos, shared.active());
+            if let crate::meta::Close::Fill { rnd, pos } = shared.metas[map.meta_idx].close(map.rnd, cap) {
+                let gpos = rnd as u64 * shared.active() as u64 + map.meta_idx as u64;
+                let lag = shared.history.map(gpos, shared.active());
+                shared.write_dummy_run(lag.data_idx, pos, cap - pos);
+                shared.metas[map.meta_idx].confirm(cap - pos);
+            }
+        }
+        readout
+    }
+}
+
+fn read_block(shared: &Shared, scratch: &mut Vec<u8>, gpos: u64, out: &mut Readout) {
+        let cap = shared.cap() as usize;
+        let map = shared.history.map(gpos, shared.active());
+        // Respect the live capacity bound: blocks beyond it may be
+        // decommitted by a shrink that published the bound before our pin.
+        if map.data_idx >= shared.capacity_blocks.load(Ordering::SeqCst) {
+            out.blocks.recycled += 1;
+            return;
+        }
+        let meta = &shared.metas[map.meta_idx];
+        let conf = meta.confirmed();
+        let watermark = if conf.rnd < map.rnd {
+            // This sequence number was skipped, or its round never started.
+            out.blocks.recycled += 1;
+            return;
+        } else if conf.rnd == map.rnd {
+            // Current round: readable only when fully confirmed (§4.3).
+            let alloc = meta.allocated();
+            let visible = alloc.pos.min(shared.cap());
+            if alloc.rnd != map.rnd || conf.pos != visible {
+                out.blocks.in_flight += 1;
+                return;
+            }
+            visible as usize
+        } else {
+            // Past round: it was completely filled when it ended.
+            cap
+        };
+        if watermark < HEADER_BYTES {
+            out.blocks.recycled += 1;
+            return;
+        }
+
+        // Speculative read: snapshot, then re-validate.
+        let base = shared.data.block_offset(map.data_idx);
+        shared.data.load_bytes(base, scratch, watermark);
+
+        if !snapshot_is_for(scratch, gpos) {
+            out.blocks.recycled += 1;
+            return;
+        }
+        // Re-read the live header: a wrap-around producer re-initializing
+        // the block between our snapshot and now would have rewritten it.
+        let mut live = [0u64; 2];
+        shared.data.load_words(base, &mut live);
+        let still_ours = EntryHeader::decode(live)
+            .is_some_and(|h| h.kind == EntryKind::BlockHeader && h.stamp == gpos);
+        if !still_ours {
+            out.blocks.torn += 1;
+            return;
+        }
+        // No further checks are needed: entries are append-only within a
+        // round, so `[0, watermark)` is stable unless the round changed —
+        // and a round change rewrites the header, which we just re-read.
+        parse_entries(scratch, gpos, &mut out.events);
+        out.blocks.readable += 1;
+}
+
+fn snapshot_is_for(scratch: &[u8], gpos: u64) -> bool {
+    if scratch.len() < HEADER_BYTES {
+        return false;
+    }
+    let words = [
+        u64::from_le_bytes(scratch[0..8].try_into().expect("slice of 8")),
+        u64::from_le_bytes(scratch[8..16].try_into().expect("slice of 8")),
+    ];
+    EntryHeader::decode(words).is_some_and(|h| h.kind == EntryKind::BlockHeader && h.stamp == gpos)
+}
+
+impl std::fmt::Debug for Consumer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer").field("participant", &self.participant).finish()
+    }
+}
+
+/// Walks the entries of a validated snapshot, appending `Data` events.
+/// Defensive: torn or garbage bytes terminate the walk instead of panicking.
+fn parse_entries(snapshot: &[u8], gpos: u64, out: &mut Vec<Event>) {
+    let mut off = HEADER_BYTES; // skip the block header
+    while off + 8 <= snapshot.len() {
+        let word0 = u64::from_le_bytes(snapshot[off..off + 8].try_into().expect("slice of 8"));
+        let word1 = if off + 16 <= snapshot.len() {
+            u64::from_le_bytes(snapshot[off + 8..off + 16].try_into().expect("slice of 8"))
+        } else {
+            0
+        };
+        let Some(header) = EntryHeader::decode([word0, word1]) else { return };
+        let len = header.len as usize;
+        if len == 0 || off + len > snapshot.len() {
+            return;
+        }
+        if header.kind == EntryKind::Data {
+            let Some(payload_len) = header.payload_len() else { return };
+            if off + HEADER_BYTES + payload_len > snapshot.len() {
+                return;
+            }
+            let payload = snapshot[off + HEADER_BYTES..off + HEADER_BYTES + payload_len].to_vec();
+            out.push(Event::new(header.stamp, header.core, header.tid, gpos, payload));
+        }
+        off += len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BTrace, Config};
+    use btrace_vmem::Backing;
+
+    fn tracer() -> BTrace {
+        BTrace::new(
+            Config::new(2)
+                .active_blocks(4)
+                .block_bytes(256)
+                .buffer_bytes(256 * 4 * 2)
+                .backing(Backing::Heap),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_tracer_yields_nothing() {
+        let t = tracer();
+        let out = t.consumer().collect();
+        assert!(out.events.is_empty());
+        assert_eq!(out.blocks.readable, 2, "the two pre-assigned blocks are readable (and empty)");
+    }
+
+    #[test]
+    fn events_come_back_in_buffer_order() {
+        let t = tracer();
+        let p = t.producer(0).unwrap();
+        for i in 0..50u64 {
+            p.record_with(i, 0, &i.to_le_bytes()).unwrap();
+        }
+        let out = t.consumer().collect();
+        let stamps: Vec<_> = out.events.iter().map(|e| e.stamp()).collect();
+        let mut sorted = stamps.clone();
+        sorted.sort_unstable();
+        assert_eq!(stamps, sorted, "single-producer events must be ordered");
+        // The newest events always survive; the oldest may be overwritten.
+        assert_eq!(*stamps.last().unwrap(), 49);
+    }
+
+    #[test]
+    fn overwritten_blocks_drop_oldest_first() {
+        let t = tracer(); // 8 blocks * 256B = 2 KiB
+        let p = t.producer(0).unwrap();
+        for i in 0..500u64 {
+            p.record_with(i, 0, b"sixteen-byte-pay").unwrap();
+        }
+        let out = t.consumer().collect();
+        let stamps: Vec<_> = out.events.iter().map(|e| e.stamp()).collect();
+        assert!(!stamps.is_empty());
+        assert_eq!(*stamps.last().unwrap(), 499, "newest event must be retained");
+        // All retained events are a suffix (continuous trace, no interior gaps).
+        for w in stamps.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "gap inside retained trace: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn open_grant_hides_only_its_block() {
+        let t = tracer();
+        let p0 = t.producer(0).unwrap();
+        let p1 = t.producer(1).unwrap();
+        let g = p0.begin(4).unwrap();
+        p1.record_with(1, 0, b"other core").unwrap();
+        let out = t.consumer().collect();
+        assert_eq!(out.events.len(), 1, "core 1's block must be readable");
+        assert_eq!(out.blocks.in_flight, 1, "core 0's block is in flight");
+        g.commit(2, 0, b"done").unwrap();
+        let out = t.consumer().collect();
+        assert_eq!(out.events.len(), 2);
+    }
+
+    #[test]
+    fn collect_and_close_separates_epochs() {
+        let t = tracer();
+        let p = t.producer(0).unwrap();
+        for i in 0..5u64 {
+            p.record_with(i, 0, b"epoch-one").unwrap();
+        }
+        let mut consumer = t.consumer();
+        let first = consumer.collect_and_close();
+        assert_eq!(first.events.len(), 5);
+        for i in 5..10u64 {
+            p.record_with(i, 0, b"epoch-two").unwrap();
+        }
+        let second = consumer.collect();
+        // The second readout still sees old blocks (non-destructive read of
+        // retained data), but the new events live in strictly newer blocks.
+        let first_max_gpos = first.events.iter().map(|e| e.gpos()).max().unwrap();
+        let new_min_gpos = second
+            .events
+            .iter()
+            .filter(|e| e.stamp() >= 5)
+            .map(|e| e.gpos())
+            .min()
+            .unwrap();
+        assert!(new_min_gpos > first_max_gpos, "closed blocks must not receive new events");
+    }
+
+    #[test]
+    fn collect_and_close_with_concurrent_producers() {
+        let t = tracer();
+        let writers: Vec<_> = (0..2)
+            .map(|c| {
+                let p = t.producer(c).unwrap();
+                std::thread::spawn(move || {
+                    for i in 0..2000u64 {
+                        p.record_with(c as u64 * 10_000 + i, 0, b"concurrent write").unwrap();
+                    }
+                })
+            })
+            .collect();
+        let mut consumer = t.consumer();
+        for _ in 0..20 {
+            let _ = consumer.collect_and_close();
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        // Everything still works and the newest events are present.
+        let out = t.consumer().collect();
+        assert!(out.events.iter().any(|e| e.stamp() % 10_000 == 1999));
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes_never_tear_events(){
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let t = tracer();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..2)
+            .map(|c| {
+                let p = t.producer(c).unwrap();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // Payload derived from the stamp so tearing is detectable.
+                        let mut payload = [0u8; 24];
+                        payload[..8].copy_from_slice(&i.to_le_bytes());
+                        payload[8..16].copy_from_slice(&i.to_le_bytes());
+                        payload[16..24].copy_from_slice(&i.to_le_bytes());
+                        p.record_with(i, c as u32, &payload).unwrap();
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        let mut consumer = t.consumer();
+        for _ in 0..200 {
+            let out = consumer.collect();
+            for e in &out.events {
+                let s = e.stamp().to_le_bytes();
+                assert_eq!(&e.payload()[..8], s);
+                assert_eq!(&e.payload()[8..16], s);
+                assert_eq!(&e.payload()[16..24], s);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,92 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible BTrace operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// The [`Config`](crate::Config) is inconsistent; the message names the
+    /// violated constraint.
+    InvalidConfig(String),
+    /// The core index passed to [`BTrace::producer`](crate::BTrace::producer)
+    /// is out of range.
+    InvalidCore {
+        /// The requested core index.
+        core: usize,
+        /// Number of cores the tracer was configured with.
+        cores: usize,
+    },
+    /// The payload cannot fit in a data block.
+    EntryTooLarge {
+        /// Requested payload size in bytes.
+        payload: usize,
+        /// Largest payload a block can hold.
+        max: usize,
+    },
+    /// The requested resize target is invalid (not a multiple of the block
+    /// and active-block granularity, zero, or beyond the reserved maximum).
+    InvalidResize(String),
+    /// A resize could not finish because producers holding unconfirmed
+    /// grants did not drain within the deadline.
+    ResizeTimeout {
+        /// Index of the metadata block still referenced by a producer.
+        meta: usize,
+    },
+    /// The memory substrate failed.
+    Region(btrace_vmem::RegionError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TraceError::InvalidCore { core, cores } => {
+                write!(f, "core {core} out of range: tracer configured with {cores} cores")
+            }
+            TraceError::EntryTooLarge { payload, max } => {
+                write!(f, "payload of {payload} bytes exceeds the per-block maximum of {max} bytes")
+            }
+            TraceError::InvalidResize(msg) => write!(f, "invalid resize: {msg}"),
+            TraceError::ResizeTimeout { meta } => {
+                write!(f, "resize timed out waiting for producers to leave metadata block {meta}")
+            }
+            TraceError::Region(e) => write!(f, "memory region error: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Region(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<btrace_vmem::RegionError> for TraceError {
+    fn from(e: btrace_vmem::RegionError) -> Self {
+        TraceError::Region(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = TraceError::Region(btrace_vmem::RegionError::InvalidSize { requested: 3 });
+        assert!(e.to_string().contains("memory region error"));
+        assert!(e.source().is_some());
+        let e = TraceError::EntryTooLarge { payload: 9000, max: 4064 };
+        assert!(e.to_string().contains("9000"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

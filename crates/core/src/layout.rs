@@ -1,0 +1,157 @@
+//! Mapping from global block sequence numbers to metadata and data blocks
+//! (paper §3.3), including the ratio history needed after resizes.
+//!
+//! With `A` metadata blocks and a live ratio `R` (so `N = R · A` data
+//! blocks), a global sequence number `gpos` maps to:
+//!
+//! ```text
+//! meta_idx = gpos mod A
+//! rnd      = gpos div A
+//! data_idx = (rnd mod R) · A + meta_idx
+//! ```
+//!
+//! This reproduces Fig. 7: with `A = 4, R = 2`, data blocks D3 (rnd 0) and
+//! D7 (rnd 1) share metadata block M3.
+//!
+//! Resizing changes `R`; blocks written under an older ratio remain in the
+//! buffer, so consumers (and straggler repair) resolve `gpos → data_idx`
+//! through a [`RatioHistory`] of `(first_gpos, ratio)` records. Producers on
+//! the fast path never consult the history — they carry the live ratio in
+//! their core-local `ratio_and_pos`.
+
+use std::sync::RwLock;
+
+/// Where a global sequence number lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Mapping {
+    /// Index of the managing metadata block.
+    pub meta_idx: usize,
+    /// Round of that metadata block.
+    pub rnd: u32,
+    /// Index of the data block.
+    pub data_idx: u64,
+}
+
+/// Computes the mapping for `gpos` under `ratio`.
+pub(crate) fn map_gpos(gpos: u64, active_blocks: usize, ratio: u16) -> Mapping {
+    debug_assert!(ratio >= 1);
+    let a = active_blocks as u64;
+    let rnd64 = gpos / a;
+    debug_assert!(rnd64 <= u32::MAX as u64, "round counter exceeded 32 bits");
+    let meta_idx = (gpos % a) as usize;
+    let data_idx = (rnd64 % ratio as u64) * a + meta_idx as u64;
+    Mapping { meta_idx, rnd: rnd64 as u32, data_idx }
+}
+
+/// Append-only log of `(first_gpos, ratio)` transitions.
+///
+/// Reads take a shared lock; resizes are rare and short, and the fast path
+/// never reads it, so contention is negligible.
+#[derive(Debug)]
+pub(crate) struct RatioHistory {
+    entries: RwLock<Vec<(u64, u16)>>,
+}
+
+impl RatioHistory {
+    pub(crate) fn new(initial_ratio: u16) -> Self {
+        Self { entries: RwLock::new(vec![(0, initial_ratio)]) }
+    }
+
+    /// Records that blocks from `from_gpos` onward use `ratio`.
+    pub(crate) fn push(&self, from_gpos: u64, ratio: u16) {
+        let mut entries = self.entries.write().expect("ratio history poisoned");
+        debug_assert!(entries.last().is_none_or(|&(g, _)| g <= from_gpos));
+        entries.push((from_gpos, ratio));
+    }
+
+    /// Ratio in effect for `gpos`.
+    pub(crate) fn ratio_at(&self, gpos: u64) -> u16 {
+        let entries = self.entries.read().expect("ratio history poisoned");
+        entries
+            .iter()
+            .rev()
+            .find(|&&(from, _)| from <= gpos)
+            .map(|&(_, r)| r)
+            .unwrap_or_else(|| entries.first().expect("history never empty").1)
+    }
+
+    /// Mapping for `gpos` under the ratio that was live when it was issued.
+    pub(crate) fn map(&self, gpos: u64, active_blocks: usize) -> Mapping {
+        map_gpos(gpos, active_blocks, self.ratio_at(gpos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_mapping() {
+        // Eight data blocks, four metadata blocks, ratio two: D3 and D7
+        // share M3.
+        let m3 = map_gpos(3, 4, 2);
+        assert_eq!(m3, Mapping { meta_idx: 3, rnd: 0, data_idx: 3 });
+        let m7 = map_gpos(7, 4, 2);
+        assert_eq!(m7, Mapping { meta_idx: 3, rnd: 1, data_idx: 7 });
+        // Next round wraps back onto D3.
+        let m11 = map_gpos(11, 4, 2);
+        assert_eq!(m11, Mapping { meta_idx: 3, rnd: 2, data_idx: 3 });
+    }
+
+    #[test]
+    fn ratio_one_reuses_same_block_every_round() {
+        for gpos in 0..32u64 {
+            let m = map_gpos(gpos, 4, 1);
+            assert_eq!(m.data_idx, gpos % 4);
+        }
+    }
+
+    #[test]
+    fn data_blocks_cycle_with_period_n() {
+        let (a, r) = (6usize, 4u16);
+        let n = a as u64 * r as u64;
+        for gpos in 0..n {
+            let now = map_gpos(gpos, a, r);
+            let next_cycle = map_gpos(gpos + n, a, r);
+            assert_eq!(now.data_idx, next_cycle.data_idx);
+            assert_eq!(now.meta_idx, next_cycle.meta_idx);
+            assert_eq!(now.rnd + r as u32, next_cycle.rnd);
+        }
+    }
+
+    #[test]
+    fn all_data_blocks_hit_exactly_once_per_cycle() {
+        let (a, r) = (4usize, 3u16);
+        let n = a as u64 * r as u64;
+        let mut seen = vec![false; n as usize];
+        for gpos in 0..n {
+            let m = map_gpos(gpos, a, r);
+            assert!(!seen[m.data_idx as usize], "data block visited twice in one cycle");
+            seen[m.data_idx as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn history_lookup_respects_boundaries() {
+        let h = RatioHistory::new(2);
+        h.push(16, 4);
+        h.push(32, 1);
+        assert_eq!(h.ratio_at(0), 2);
+        assert_eq!(h.ratio_at(15), 2);
+        assert_eq!(h.ratio_at(16), 4);
+        assert_eq!(h.ratio_at(31), 4);
+        assert_eq!(h.ratio_at(32), 1);
+        assert_eq!(h.ratio_at(1_000_000), 1);
+    }
+
+    #[test]
+    fn history_map_uses_ratio_of_the_round() {
+        let h = RatioHistory::new(1);
+        h.push(8, 2); // from gpos 8 on, ratio 2 (A = 4)
+        // gpos 5 (rnd 1, ratio 1) maps within the first 4 blocks.
+        assert_eq!(h.map(5, 4).data_idx, 1);
+        // gpos 13 (rnd 3, ratio 2) alternates between the two banks.
+        assert_eq!(h.map(13, 4).data_idx, 4 + 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Packed atomic word layouts used by BTrace's metadata.
+//!
+//! Two packings exist (paper §4.1–§4.2):
+//!
+//! * [`RndPos`] — `(rnd: u32, pos: u32)`, used by the per-metadata-block
+//!   `Allocated` and `Confirmed` variables. `rnd` counts how many rounds the
+//!   metadata block has been used (and thereby names its current data
+//!   block); `pos` is a byte watermark (`Allocated`) or a byte *count*
+//!   (`Confirmed`, out-of-order confirmation).
+//! * [`RatioPos`] — `(ratio: u16, pos: u48)`, used by the global and
+//!   core-local `ratio_and_pos` variables. `pos` is a monotone global block
+//!   sequence number; `ratio` is the live `N : A` data-to-metadata mapping
+//!   ratio, packed alongside so both are read and updated atomically (§4.2).
+
+/// `(rnd, pos)` packed into a `u64`: `rnd` in the high 32 bits, `pos` in the
+/// low 32 bits.
+///
+/// A fetch-and-add of a byte size only touches `pos`; overflowing into `rnd`
+/// would require 4 GiB of stale allocations against a single block between
+/// two resets, which the protocol bounds to a few entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RndPos {
+    /// Round counter of the metadata block.
+    pub rnd: u32,
+    /// Byte watermark or byte count within the data block.
+    pub pos: u32,
+}
+
+impl RndPos {
+    /// Creates a packed value.
+    pub const fn new(rnd: u32, pos: u32) -> Self {
+        Self { rnd, pos }
+    }
+
+    /// Unpacks a raw `u64`.
+    pub const fn from_raw(raw: u64) -> Self {
+        Self { rnd: (raw >> 32) as u32, pos: raw as u32 }
+    }
+
+    /// Packs into a raw `u64`.
+    pub const fn to_raw(self) -> u64 {
+        ((self.rnd as u64) << 32) | self.pos as u64
+    }
+}
+
+impl From<u64> for RndPos {
+    fn from(raw: u64) -> Self {
+        Self::from_raw(raw)
+    }
+}
+
+impl From<RndPos> for u64 {
+    fn from(v: RndPos) -> Self {
+        v.to_raw()
+    }
+}
+
+/// Number of bits used for the block-sequence position in [`RatioPos`].
+pub const POS_BITS: u32 = 48;
+
+/// `(ratio, pos)` packed into a `u64`: `ratio` in the high 16 bits, the
+/// global block sequence number `pos` in the low 48 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RatioPos {
+    /// Live data-blocks-per-metadata-block ratio (`N / A`).
+    pub ratio: u16,
+    /// Monotone global block sequence number (gpos).
+    pub pos: u64,
+}
+
+impl RatioPos {
+    /// Creates a packed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `pos` does not fit in 48 bits.
+    pub const fn new(ratio: u16, pos: u64) -> Self {
+        debug_assert!(pos < (1 << POS_BITS));
+        Self { ratio, pos }
+    }
+
+    /// Unpacks a raw `u64`.
+    pub const fn from_raw(raw: u64) -> Self {
+        Self { ratio: (raw >> POS_BITS) as u16, pos: raw & ((1 << POS_BITS) - 1) }
+    }
+
+    /// Packs into a raw `u64`.
+    pub const fn to_raw(self) -> u64 {
+        ((self.ratio as u64) << POS_BITS) | self.pos
+    }
+}
+
+impl From<u64> for RatioPos {
+    fn from(raw: u64) -> Self {
+        Self::from_raw(raw)
+    }
+}
+
+impl From<RatioPos> for u64 {
+    fn from(v: RatioPos) -> Self {
+        v.to_raw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rndpos_roundtrip() {
+        for (rnd, pos) in [(0, 0), (1, 4096), (u32::MAX, u32::MAX), (7, 123)] {
+            let v = RndPos::new(rnd, pos);
+            assert_eq!(RndPos::from_raw(v.to_raw()), v);
+        }
+    }
+
+    #[test]
+    fn rndpos_faa_only_touches_pos() {
+        let v = RndPos::new(5, 100).to_raw();
+        let after = RndPos::from_raw(v + 28);
+        assert_eq!(after, RndPos::new(5, 128));
+    }
+
+    #[test]
+    fn ratiopos_roundtrip() {
+        for (ratio, pos) in [(1u16, 0u64), (16, 123456), (u16::MAX, (1 << POS_BITS) - 1)] {
+            let v = RatioPos::new(ratio, pos);
+            assert_eq!(RatioPos::from_raw(v.to_raw()), v);
+        }
+    }
+
+    #[test]
+    fn ratiopos_increment_preserves_ratio() {
+        let v = RatioPos::new(16, 41).to_raw();
+        let after = RatioPos::from_raw(v + 1);
+        assert_eq!(after, RatioPos::new(16, 42));
+    }
+
+    #[test]
+    fn conversions_via_from() {
+        let raw: u64 = RndPos::new(2, 3).into();
+        assert_eq!(RndPos::from(raw), RndPos::new(2, 3));
+        let raw: u64 = RatioPos::new(4, 5).into();
+        assert_eq!(RatioPos::from(raw), RatioPos::new(4, 5));
+    }
+}

@@ -1,0 +1,390 @@
+//! Recording handles: [`Producer`] (per core) and [`Grant`] (two-phase
+//! allocate/commit, the unit the paper's out-of-order confirmation operates
+//! on).
+
+use crate::buffer::Shared;
+use crate::error::TraceError;
+use crate::event::{encoded_len, EntryHeader, EntryKind, HEADER_BYTES};
+use std::sync::Arc;
+
+/// Largest payload that fits one entry in a block of `block_bytes`: the
+/// block header consumes the first 16 bytes, the entry header another 16.
+pub(crate) fn max_payload(block_bytes: usize) -> usize {
+    (block_bytes - 2 * HEADER_BYTES).min(crate::event::MAX_ENTRY_BYTES - HEADER_BYTES)
+}
+
+/// A recording handle pinned to one core.
+///
+/// Handles are cheap to clone and share the tracer. Any number of threads
+/// "running on" the same core may record through clones of the same handle —
+/// the paper's oversubscription scenario — and none of them ever blocks:
+/// space allocation is one fetch-and-add, confirmation is out of order.
+///
+/// # Examples
+///
+/// ```rust
+/// use btrace_core::{BTrace, Config};
+///
+/// # fn main() -> Result<(), btrace_core::TraceError> {
+/// let tracer = BTrace::new(Config::new(1).buffer_bytes(256 << 10).active_blocks(16))?;
+/// let producer = tracer.producer(0)?;
+///
+/// // Convenience path: internal stamp clock.
+/// producer.record(b"freq: cpu0 1.8GHz -> 2.4GHz")?;
+///
+/// // Two-phase path: allocate first, commit later (possibly after the
+/// // thread was preempted in between).
+/// let grant = producer.begin(12)?;
+/// grant.commit(42, 7, b"sched-wakeup")?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Producer {
+    shared: Arc<Shared>,
+    core: u16,
+}
+
+impl Producer {
+    pub(crate) fn new(shared: Arc<Shared>, core: u16) -> Self {
+        Self { shared, core }
+    }
+
+    /// The core this handle records on.
+    pub fn core(&self) -> usize {
+        self.core as usize
+    }
+
+    /// Records `payload` with a stamp from the tracer's convenience clock
+    /// and a thread id of 0.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::EntryTooLarge`] when the payload cannot fit in a block.
+    pub fn record(&self, payload: &[u8]) -> Result<(), TraceError> {
+        let stamp = self.shared.next_stamp();
+        self.record_with(stamp, 0, payload)
+    }
+
+    /// Records `payload` with a caller-provided logic stamp and thread id.
+    /// This is the hot path: one fetch-and-add to allocate, a word-wise
+    /// copy, one fetch-and-add to confirm.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::EntryTooLarge`] when the payload cannot fit in a block.
+    pub fn record_with(&self, stamp: u64, tid: u32, payload: &[u8]) -> Result<(), TraceError> {
+        record_on(&self.shared, self.core as usize, stamp, tid, payload)
+    }
+
+    /// Allocates space for a `payload_len`-byte entry without writing it,
+    /// returning a [`Grant`] to commit later.
+    ///
+    /// Between `begin` and [`Grant::commit`] the owning thread may be
+    /// preempted arbitrarily long; other producers on the same core keep
+    /// recording (out-of-order confirmation) and, when the block fills,
+    /// advancement skips rather than waits (§3.4). The unconfirmed grant
+    /// pins its block's round, so the space can be neither reused nor
+    /// reclaimed underneath it.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::EntryTooLarge`] when the payload cannot fit in a block.
+    pub fn begin(&self, payload_len: usize) -> Result<Grant, TraceError> {
+        let need = self.encoded_need(payload_len)?;
+        let granted = self.shared.allocate(self.core as usize, need);
+        Ok(Grant {
+            shared: Arc::clone(&self.shared),
+            meta_idx: granted.meta_idx,
+            data_off: granted.data_off,
+            offset: granted.offset,
+            len: granted.len,
+            payload_len: payload_len as u32,
+            core: self.core,
+            gpos: granted.gpos,
+            committed: false,
+        })
+    }
+
+    fn encoded_need(&self, payload_len: usize) -> Result<u32, TraceError> {
+        let max = max_payload(self.shared.cfg.block_bytes);
+        if payload_len > max {
+            return Err(TraceError::EntryTooLarge { payload: payload_len, max });
+        }
+        Ok(encoded_len(payload_len) as u32)
+    }
+}
+
+impl std::fmt::Debug for Producer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer").field("core", &self.core).finish()
+    }
+}
+
+/// The grant-free recording fast path shared by [`Producer::record_with`]
+/// and the `TraceSink` implementation.
+pub(crate) fn record_on(
+    shared: &Shared,
+    core: usize,
+    stamp: u64,
+    tid: u32,
+    payload: &[u8],
+) -> Result<(), TraceError> {
+    let max = max_payload(shared.cfg.block_bytes);
+    if payload.len() > max {
+        return Err(TraceError::EntryTooLarge { payload: payload.len(), max });
+    }
+    let need = encoded_len(payload.len()) as u32;
+    let granted = shared.allocate(core, need);
+    write_entry(shared, &granted, stamp, tid, core as u16, payload);
+    shared.confirm_entry(granted.meta_idx, granted.len);
+    shared.counters.record_on_core(core, granted.len as u64);
+    Ok(())
+}
+
+fn write_entry(
+    shared: &Shared,
+    granted: &crate::buffer::Granted,
+    stamp: u64,
+    tid: u32,
+    core: u16,
+    payload: &[u8],
+) {
+    let pad = granted.len as usize - HEADER_BYTES - payload.len();
+    let header = EntryHeader {
+        len: granted.len as u16,
+        kind: EntryKind::Data,
+        pad: pad as u8,
+        core: core as u8,
+        tid,
+        stamp,
+    };
+    let at = granted.data_off + granted.offset as usize;
+    shared.data.store_words(at, &header.encode());
+    shared.data.store_bytes(at + HEADER_BYTES, payload);
+}
+
+/// An allocated-but-unconfirmed entry (paper Fig. 8).
+///
+/// Obtained from [`Producer::begin`]; finish with [`Grant::commit`].
+/// Dropping an uncommitted grant confirms the space as a dummy entry so the
+/// block can still fill, close, and recycle — a crashed or cancelled writer
+/// costs its bytes, never the buffer's liveness.
+#[must_use = "an unfinished grant keeps its block from completing; commit it"]
+pub struct Grant {
+    shared: Arc<Shared>,
+    meta_idx: usize,
+    data_off: usize,
+    offset: u32,
+    len: u32,
+    payload_len: u32,
+    core: u16,
+    gpos: u64,
+    committed: bool,
+}
+
+impl Grant {
+    /// Number of payload bytes this grant was sized for.
+    pub fn payload_len(&self) -> usize {
+        self.payload_len as usize
+    }
+
+    /// Global sequence number of the block holding the grant.
+    pub fn gpos(&self) -> u64 {
+        self.gpos
+    }
+
+    /// Writes the entry and confirms it (the out-of-order confirmation of
+    /// §3.4 — grants commit in any order, each bumping the confirmed
+    /// counter).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::EntryTooLarge`] when `payload` is not exactly the
+    /// length the grant was allocated for.
+    pub fn commit(mut self, stamp: u64, tid: u32, payload: &[u8]) -> Result<(), TraceError> {
+        if payload.len() != self.payload_len as usize {
+            return Err(TraceError::EntryTooLarge {
+                payload: payload.len(),
+                max: self.payload_len as usize,
+            });
+        }
+        let granted = crate::buffer::Granted {
+            gpos: self.gpos,
+            meta_idx: self.meta_idx,
+            data_off: self.data_off,
+            offset: self.offset,
+            len: self.len,
+        };
+        write_entry(&self.shared, &granted, stamp, tid, self.core, payload);
+        self.shared.confirm_entry(self.meta_idx, self.len);
+        self.shared.counters.record_on_core(self.core as usize, self.len as u64);
+        self.committed = true;
+        Ok(())
+    }
+}
+
+impl Drop for Grant {
+    fn drop(&mut self) {
+        if !self.committed {
+            // Convert the reserved space into dummy filler and confirm it so
+            // the block is not wedged (C-DTOR-FAIL: never fails, never blocks).
+            let data_idx = (self.data_off / self.shared.cfg.block_bytes) as u64;
+            self.shared.write_dummy_run(data_idx, self.offset, self.len);
+            self.shared.confirm_entry(self.meta_idx, self.len);
+        }
+    }
+}
+
+impl std::fmt::Debug for Grant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Grant")
+            .field("gpos", &self.gpos)
+            .field("offset", &self.offset)
+            .field("len", &self.len)
+            .field("committed", &self.committed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BTrace, Config, TraceError};
+    use btrace_vmem::Backing;
+
+    fn tracer(cores: usize) -> BTrace {
+        BTrace::new(
+            Config::new(cores)
+                .active_blocks(cores.max(4))
+                .block_bytes(256)
+                .buffer_bytes(256 * cores.max(4) * 4)
+                .backing(Backing::Heap),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn record_then_collect_roundtrip() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        p.record_with(1, 7, b"hello").unwrap();
+        p.record_with(2, 7, b"world!").unwrap();
+        let out = t.consumer().collect();
+        let payloads: Vec<_> = out.events.iter().map(|e| e.payload().to_vec()).collect();
+        assert_eq!(payloads, vec![b"hello".to_vec(), b"world!".to_vec()]);
+        assert_eq!(out.events[0].stamp(), 1);
+        assert_eq!(out.events[0].tid(), 7);
+        assert_eq!(out.events[0].core(), 0);
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        let big = vec![0u8; 1024];
+        assert!(matches!(p.record(&big), Err(TraceError::EntryTooLarge { .. })));
+    }
+
+    #[test]
+    fn max_payload_is_accepted() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        let payload = vec![0xAB; t.max_payload()];
+        p.record(&payload).unwrap();
+        let out = t.consumer().collect();
+        assert_eq!(out.events.len(), 1);
+        assert_eq!(out.events[0].payload(), &payload[..]);
+    }
+
+    #[test]
+    fn grant_commit_publishes_entry() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        let g = p.begin(4).unwrap();
+        // Nothing visible while the grant is open.
+        assert_eq!(t.consumer().collect().events.len(), 0, "open grant must hide the block");
+        g.commit(9, 3, b"abcd").unwrap();
+        let out = t.consumer().collect();
+        assert_eq!(out.events.len(), 1);
+        assert_eq!(out.events[0].stamp(), 9);
+        assert_eq!(out.events[0].payload(), b"abcd");
+    }
+
+    #[test]
+    fn grant_commit_wrong_len_rejected() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        let g = p.begin(4).unwrap();
+        assert!(g.commit(0, 0, b"too long").is_err());
+        // The failed commit consumed the grant; its Drop confirmed a dummy,
+        // so later records still flow.
+        p.record(b"after").unwrap();
+        let out = t.consumer().collect();
+        assert_eq!(out.events.len(), 1);
+    }
+
+    #[test]
+    fn dropped_grant_becomes_dummy() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        drop(p.begin(32).unwrap());
+        p.record_with(5, 0, b"next").unwrap();
+        let out = t.consumer().collect();
+        assert_eq!(out.events.len(), 1, "dummy must not surface as an event");
+        assert_eq!(out.events[0].stamp(), 5);
+        assert!(t.stats().dummy_bytes >= 48);
+    }
+
+    #[test]
+    fn interleaved_grants_commit_out_of_order() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        let g1 = p.begin(2).unwrap();
+        let g2 = p.begin(2).unwrap();
+        g2.commit(2, 1, b"g2").unwrap(); // T1 confirms before T0 (Fig. 8b)
+        g1.commit(1, 0, b"g1").unwrap();
+        let out = t.consumer().collect();
+        let stamps: Vec<_> = out.events.iter().map(|e| e.stamp()).collect();
+        assert_eq!(stamps, vec![1, 2], "buffer order follows allocation order");
+    }
+
+    #[test]
+    fn preempted_grant_does_not_block_other_threads() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        let held = p.begin(8).unwrap(); // simulated preemption mid-write
+        // Other threads on the core keep writing straight through block
+        // boundaries (the held grant's block is skipped at wrap-around).
+        for i in 0..200 {
+            p.record_with(100 + i, 1, b"filler-entry").unwrap();
+        }
+        held.commit(1, 0, b"held-one").unwrap();
+        assert!(t.stats().records == 201);
+    }
+
+    #[test]
+    fn producers_on_all_cores_share_the_buffer() {
+        let t = tracer(4);
+        let handles: Vec<_> = (0..4)
+            .map(|c| {
+                let p = t.producer(c).unwrap();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        p.record_with(c as u64 * 1000 + i, c as u32, b"0123456789abcdef").unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.stats().records, 2000);
+        let out = t.consumer().collect();
+        assert!(!out.events.is_empty());
+        // Every surviving event must be intact (stamp within the ranges we wrote).
+        for e in &out.events {
+            assert!(e.stamp() % 1000 < 500, "corrupt stamp {}", e.stamp());
+            assert_eq!(e.payload(), b"0123456789abcdef");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Word-atomic views over the data region.
+//!
+//! Producers and the speculative consumer may touch the same bytes
+//! concurrently (the consumer validates and discards torn reads, §4.3). To
+//! keep those races defined behaviour in Rust's memory model, *every* access
+//! to the data region goes through relaxed `AtomicU64` operations: entries
+//! are 8-byte aligned and padded, so whole-word transfers lose nothing.
+//! Ordering between a producer's payload writes and a consumer's reads is
+//! established externally by the release fetch-and-add on `Confirmed` and
+//! the acquire load of it.
+
+use crate::config::Resolved;
+use btrace_vmem::{Backing, Region};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The reserved data region plus its geometry.
+pub(crate) struct DataRegion {
+    region: Region,
+    block_bytes: usize,
+}
+
+impl DataRegion {
+    pub(crate) fn new(cfg: &Resolved) -> Result<Self, btrace_vmem::RegionError> {
+        let region = reserve_padded(cfg.max_bytes(), cfg.backing)?;
+        Ok(Self { region, block_bytes: cfg.block_bytes })
+    }
+
+    pub(crate) fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// Byte offset of data block `data_idx`.
+    pub(crate) fn block_offset(&self, data_idx: u64) -> usize {
+        data_idx as usize * self.block_bytes
+    }
+
+    #[inline]
+    fn word(&self, byte_off: usize) -> &AtomicU64 {
+        debug_assert_eq!(byte_off % 8, 0, "data region access must be word aligned");
+        debug_assert!(byte_off + 8 <= self.region.len());
+        // SAFETY: in-bounds (asserted), 8-aligned (region base is page
+        // aligned), and AtomicU64 tolerates the concurrent mixed access this
+        // module exists to make defined.
+        unsafe { &*(self.region.as_ptr().add(byte_off) as *const AtomicU64) }
+    }
+
+    /// Stores `words` starting at `byte_off` (relaxed; callers publish via
+    /// `Confirmed`).
+    pub(crate) fn store_words(&self, byte_off: usize, words: &[u64]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.word(byte_off + i * 8).store(w, Ordering::Relaxed);
+        }
+    }
+
+    /// Loads `out.len()` words starting at `byte_off`.
+    pub(crate) fn load_words(&self, byte_off: usize, out: &mut [u64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.word(byte_off + i * 8).load(Ordering::Relaxed);
+        }
+    }
+
+    /// Stores `bytes` at `byte_off` (8-aligned), zero-padding the final
+    /// partial word. The padding stays within the entry's allocated,
+    /// alignment-rounded space.
+    pub(crate) fn store_bytes(&self, byte_off: usize, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        let mut off = byte_off;
+        for chunk in chunks.by_ref() {
+            let w = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+            self.word(off).store(w, Ordering::Relaxed);
+            off += 8;
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.word(off).store(u64::from_le_bytes(tail), Ordering::Relaxed);
+        }
+    }
+
+    /// Loads `len` bytes from `byte_off` (8-aligned) into `out`.
+    pub(crate) fn load_bytes(&self, byte_off: usize, out: &mut Vec<u8>, len: usize) {
+        out.clear();
+        out.reserve(len);
+        let words = len / 8;
+        for i in 0..words {
+            let w = self.word(byte_off + i * 8).load(Ordering::Relaxed);
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        let rest = len % 8;
+        if rest != 0 {
+            let w = self.word(byte_off + words * 8).load(Ordering::Relaxed);
+            out.extend_from_slice(&w.to_le_bytes()[..rest]);
+        }
+    }
+}
+
+impl std::fmt::Debug for DataRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataRegion")
+            .field("region", &self.region)
+            .field("block_bytes", &self.block_bytes)
+            .finish()
+    }
+}
+
+/// Reserves a region of at least `bytes`, rounded up to the page size.
+fn reserve_padded(bytes: usize, backing: Backing) -> Result<Region, btrace_vmem::RegionError> {
+    let page = btrace_vmem::PAGE_SIZE;
+    let padded = bytes.div_ceil(page) * page;
+    Region::reserve_with(padded, backing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn region() -> DataRegion {
+        let cfg = Config::new(1)
+            .active_blocks(2)
+            .block_bytes(512)
+            .buffer_bytes(2 * 512)
+            .backing(Backing::Heap)
+            .resolve()
+            .unwrap();
+        let r = DataRegion::new(&cfg).unwrap();
+        r.region().commit(0, r.region().len()).unwrap();
+        r
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let r = region();
+        r.store_words(16, &[0xDEAD_BEEF, 42]);
+        let mut out = [0u64; 2];
+        r.load_words(16, &mut out);
+        assert_eq!(out, [0xDEAD_BEEF, 42]);
+    }
+
+    #[test]
+    fn bytes_roundtrip_with_padding() {
+        let r = region();
+        let payload = b"hello world, tracing!"; // 21 bytes
+        r.store_bytes(64, payload);
+        let mut out = Vec::new();
+        r.load_bytes(64, &mut out, payload.len());
+        assert_eq!(&out, payload);
+        // The padding word zero-fills beyond the payload.
+        let mut w = [0u64; 1];
+        r.load_words(64 + 16, &mut w);
+        assert_eq!(w[0] & 0xFF_FF_FF_00_00_00_00_00, 0);
+    }
+
+    #[test]
+    fn block_offsets() {
+        let r = region();
+        assert_eq!(r.block_offset(0), 0);
+        assert_eq!(r.block_offset(3), 3 * 512);
+    }
+}

@@ -1,0 +1,293 @@
+//! Runtime buffer resizing with implicit reclaiming (paper §3.3, §4.4).
+//!
+//! Growing commits fresh pages and bumps the global ratio; producers start
+//! spreading over the new blocks on their next advancement. Shrinking is the
+//! interesting direction:
+//!
+//! 1. publish the new `(ratio, position)` pair with a single CAS on the
+//!    global `ratio_and_pos`, jumping the position to the next round
+//!    boundary so old and new rounds never share a metadata round;
+//! 2. force every core off its current block by running the ordinary
+//!    advancement procedure on its behalf;
+//! 3. close every metadata block still on a pre-resize round and wait for
+//!    its confirmed count to reach capacity — the allocate/confirm counters
+//!    are the *implicit reference count*: a producer still writing holds the
+//!    count below capacity, and its final confirm is the epoch end (§3.3).
+//!    No producer-side synchronization is added anywhere;
+//! 4. wait out the consumer EBR grace period (consumers pinned before the
+//!    capacity change drain; new pins observe the shrunken capacity);
+//! 5. decommit the physical pages beyond the new extent.
+
+use crate::buffer::{extent_bytes, BTrace};
+use crate::error::TraceError;
+use crate::meta::Close;
+use crate::packed::RatioPos;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// How long a shrink waits for producers holding unconfirmed grants before
+/// giving up with [`TraceError::ResizeTimeout`].
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+impl BTrace {
+    /// Resizes the buffer to `bytes`.
+    ///
+    /// `bytes` must be a multiple of `block_bytes × active_blocks` (the
+    /// resize granularity — the metadata mapping works in whole rounds), at
+    /// least one such stride, and at most the reserved maximum
+    /// ([`Config::max_bytes`](crate::Config::max_bytes)).
+    ///
+    /// Concurrent producers keep recording throughout; no locks are added to
+    /// their path. Concurrent resizes serialize on an internal mutex.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidResize`] for an out-of-range or misaligned
+    /// target, [`TraceError::ResizeTimeout`] when a producer holding an
+    /// unconfirmed grant fails to drain, and [`TraceError::Region`] when the
+    /// OS rejects commit/decommit.
+    pub fn resize_bytes(&self, bytes: usize) -> Result<(), TraceError> {
+        let stride = self.block_bytes() * self.active_blocks();
+        if bytes == 0 || !bytes.is_multiple_of(stride) {
+            return Err(TraceError::InvalidResize(format!(
+                "target {bytes} is not a positive multiple of block_bytes * active_blocks ({stride})"
+            )));
+        }
+        let ratio = bytes / stride;
+        if ratio > self.shared.cfg.max_ratio as usize {
+            return Err(TraceError::InvalidResize(format!(
+                "target {bytes} exceeds the reserved maximum of {} bytes",
+                self.shared.cfg.max_bytes()
+            )));
+        }
+        self.resize_ratio(ratio as u16)
+    }
+
+    fn resize_ratio(&self, new_ratio: u16) -> Result<(), TraceError> {
+        let shared = &self.shared;
+        let _serialize = shared.resize_lock.lock().expect("resize lock poisoned");
+
+        let old = shared.global_pos();
+        if old.ratio == new_ratio {
+            return Ok(());
+        }
+
+        // Growing: commit the new pages *before* any producer can reach them.
+        let new_extent = extent_bytes(&shared.cfg, new_ratio);
+        let old_extent = shared.committed_extent.load(Ordering::SeqCst);
+        if new_extent > old_extent {
+            shared.data.region().commit(old_extent, new_extent - old_extent)?;
+            shared.committed_extent.store(new_extent, Ordering::SeqCst);
+        }
+
+        // Publish the new ratio at the next round boundary (§4.4: "after
+        // updating the global ratio_and_pos").
+        let a = shared.active() as u64;
+        let boundary = loop {
+            let cur = shared.global_pos();
+            let boundary = (cur.pos / a + 1) * a;
+            let next = RatioPos::new(new_ratio, boundary);
+            if shared
+                .global_raw()
+                .compare_exchange(cur.to_raw(), next.to_raw(), Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                break boundary;
+            }
+        };
+        shared.resize_floor.store(boundary, Ordering::SeqCst);
+        shared.history.push(boundary, new_ratio);
+
+        let shrinking = new_ratio < old.ratio;
+        let new_blocks = new_ratio as u64 * a;
+        if shrinking {
+            // Consumers must stop ranging into the doomed blocks before the
+            // grace period starts.
+            shared.capacity_blocks.store(new_blocks, Ordering::SeqCst);
+        }
+
+        // Force every core off its pre-resize block by executing the
+        // ordinary advancement procedure on its behalf (§4.4).
+        for core in 0..shared.cfg.cores {
+            loop {
+                let local = shared.core_local(core);
+                if local.pos >= boundary {
+                    break;
+                }
+                shared.advance(core, local);
+            }
+        }
+
+        // Close every metadata block still on a pre-resize round and wait
+        // for the implicit reference counts to drain.
+        let boundary_rnd = (boundary / a) as u32;
+        let cap = shared.cap();
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        for (idx, meta) in shared.metas.iter().enumerate() {
+            loop {
+                let conf = meta.confirmed();
+                if conf.rnd >= boundary_rnd || conf.pos >= cap {
+                    break; // producers have left this metadata block
+                }
+                if let Close::Fill { rnd, pos } = meta.close(conf.rnd, cap) {
+                    let gpos = rnd as u64 * a + idx as u64;
+                    let map = shared.history.map(gpos, shared.active());
+                    shared.write_dummy_run(map.data_idx, pos, cap - pos);
+                    meta.confirm(cap - pos);
+                    shared.counters.bump(&shared.counters.closes);
+                }
+                if Instant::now() > deadline {
+                    return Err(TraceError::ResizeTimeout { meta: idx });
+                }
+                std::thread::yield_now();
+            }
+        }
+
+        if !shrinking {
+            shared.capacity_blocks.store(new_blocks, Ordering::SeqCst);
+        }
+
+        if shrinking {
+            // Consumer grace period, then physically reclaim (§4.4).
+            shared.domain.synchronize();
+            if new_extent < old_extent {
+                shared.data.region().decommit(new_extent, old_extent - new_extent)?;
+                shared.committed_extent.store(new_extent, Ordering::SeqCst);
+            }
+        }
+
+        shared.counters.bump(&shared.counters.resizes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BTrace, Config, TraceError};
+    use btrace_vmem::Backing;
+
+    fn resizable() -> BTrace {
+        BTrace::new(
+            Config::new(2)
+                .active_blocks(4)
+                .block_bytes(1024)
+                .buffer_bytes(1024 * 4 * 2) // ratio 2
+                .max_bytes(1024 * 4 * 8) // up to ratio 8
+                .backing(Backing::Heap),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grow_and_shrink_change_capacity() {
+        let t = resizable();
+        assert_eq!(t.capacity_blocks(), 8);
+        t.resize_bytes(1024 * 4 * 8).unwrap();
+        assert_eq!(t.capacity_blocks(), 32);
+        t.resize_bytes(1024 * 4).unwrap();
+        assert_eq!(t.capacity_blocks(), 4);
+        assert_eq!(t.stats().resizes, 2);
+    }
+
+    #[test]
+    fn invalid_targets_rejected() {
+        let t = resizable();
+        assert!(matches!(t.resize_bytes(0), Err(TraceError::InvalidResize(_))));
+        assert!(matches!(t.resize_bytes(1000), Err(TraceError::InvalidResize(_))));
+        assert!(matches!(t.resize_bytes(1024 * 4 * 64), Err(TraceError::InvalidResize(_))));
+    }
+
+    #[test]
+    fn resize_to_current_size_is_noop() {
+        let t = resizable();
+        t.resize_bytes(1024 * 4 * 2).unwrap();
+        assert_eq!(t.stats().resizes, 0);
+    }
+
+    #[test]
+    fn events_survive_across_grow() {
+        let t = resizable();
+        let p = t.producer(0).unwrap();
+        for i in 0..10u64 {
+            p.record_with(i, 0, b"before-grow").unwrap();
+        }
+        t.resize_bytes(1024 * 4 * 8).unwrap();
+        for i in 10..20u64 {
+            p.record_with(i, 0, b"after-grow!").unwrap();
+        }
+        let out = t.consumer().collect();
+        let stamps: Vec<_> = out.events.iter().map(|e| e.stamp()).collect();
+        for i in 0..20 {
+            assert!(stamps.contains(&i), "stamp {i} lost across grow: {stamps:?}");
+        }
+    }
+
+    #[test]
+    fn recording_continues_after_shrink() {
+        let t = resizable();
+        let p = t.producer(0).unwrap();
+        for i in 0..200u64 {
+            p.record_with(i, 0, b"some trace entry payload").unwrap();
+        }
+        t.resize_bytes(1024 * 4).unwrap();
+        for i in 200..400u64 {
+            p.record_with(i, 0, b"some trace entry payload").unwrap();
+        }
+        let out = t.consumer().collect();
+        assert_eq!(out.events.last().unwrap().stamp(), 399);
+        // Everything readable lives within the shrunken capacity.
+        assert!(out.stored_bytes() <= t.capacity_bytes());
+    }
+
+    #[test]
+    fn shrink_waits_for_open_grants() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+        let t = resizable();
+        let p = t.producer(0).unwrap();
+        let grant = p.begin(8).unwrap();
+
+        let t2 = t.clone();
+        let (tx, rx) = mpsc::channel();
+        let shrinker = std::thread::spawn(move || {
+            let result = t2.resize_bytes(1024 * 4);
+            tx.send(()).unwrap();
+            result
+        });
+        // The shrink must not complete while the grant is open.
+        assert!(
+            rx.recv_timeout(Duration::from_millis(200)).is_err(),
+            "shrink finished despite an unconfirmed grant"
+        );
+        grant.commit(1, 0, b"finally!").unwrap();
+        shrinker.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn concurrent_producers_survive_resize_storm() {
+        let t = resizable();
+        let writers: Vec<_> = (0..2)
+            .map(|c| {
+                let p = t.producer(c).unwrap();
+                std::thread::spawn(move || {
+                    for i in 0..5000u64 {
+                        p.record_with(i, c as u32, b"payload-under-resize").unwrap();
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..10 {
+            t.resize_bytes(1024 * 4 * 8).unwrap();
+            t.resize_bytes(1024 * 4).unwrap();
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(t.stats().records, 10_000);
+        let out = t.consumer().collect();
+        assert!(!out.events.is_empty());
+        for e in &out.events {
+            assert_eq!(e.payload(), b"payload-under-resize");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Diagnostic counters for the mechanisms the paper ablates: closing,
+//! skipping, dummy filling, and straggler repair.
+//!
+//! The per-record counters (`records`, `recorded_bytes`) are kept per core
+//! on padded cache lines — a single global counter would add cross-core
+//! cache-line traffic to the otherwise contention-free fast path.
+
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fast-path counters, one instance per core.
+#[derive(Debug, Default)]
+pub(crate) struct HotCounters {
+    pub records: AtomicU64,
+    pub recorded_bytes: AtomicU64,
+}
+
+/// Internal atomic counters.
+#[derive(Debug)]
+pub(crate) struct Counters {
+    per_core: Box<[CachePadded<HotCounters>]>,
+    pub dummy_bytes: AtomicU64,
+    pub advances: AtomicU64,
+    pub closes: AtomicU64,
+    pub skips: AtomicU64,
+    pub straggler_repairs: AtomicU64,
+    pub resizes: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn new(cores: usize) -> Self {
+        Self {
+            per_core: (0..cores).map(|_| CachePadded::new(HotCounters::default())).collect(),
+            dummy_bytes: AtomicU64::new(0),
+            advances: AtomicU64::new(0),
+            closes: AtomicU64::new(0),
+            skips: AtomicU64::new(0),
+            straggler_repairs: AtomicU64::new(0),
+            resizes: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_on_core(&self, core: usize, bytes: u64) {
+        let hot = &self.per_core[core];
+        hot.records.fetch_add(1, Ordering::Relaxed);
+        hot.recorded_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(&self, counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> Stats {
+        Stats {
+            records: self.per_core.iter().map(|c| c.records.load(Ordering::Relaxed)).sum(),
+            recorded_bytes: self.per_core.iter().map(|c| c.recorded_bytes.load(Ordering::Relaxed)).sum(),
+            dummy_bytes: self.dummy_bytes.load(Ordering::Relaxed),
+            advances: self.advances.load(Ordering::Relaxed),
+            closes: self.closes.load(Ordering::Relaxed),
+            skips: self.skips.load(Ordering::Relaxed),
+            straggler_repairs: self.straggler_repairs.load(Ordering::Relaxed),
+            resizes: self.resizes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the tracer's diagnostic counters.
+///
+/// Obtained from [`BTrace::stats`](crate::BTrace::stats). All counts are
+/// cumulative since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Stats {
+    /// Successfully recorded events.
+    pub records: u64,
+    /// Payload bytes recorded (on-buffer encoded size).
+    pub recorded_bytes: u64,
+    /// Bytes spent on dummy filler (tail fills, closes, repairs).
+    pub dummy_bytes: u64,
+    /// Block advancements (slow-path executions).
+    pub advances: u64,
+    /// Blocks closed while only partially filled (§3.2).
+    pub closes: u64,
+    /// Blocks skipped to preserve availability (§3.4).
+    pub skips: u64,
+    /// Straggler allocations repaired after landing in a newer round.
+    pub straggler_repairs: u64,
+    /// Completed resize operations.
+    pub resizes: u64,
+}
+
+impl Stats {
+    /// Fraction of written bytes wasted on dummy filler; 0.0 when nothing
+    /// has been written.
+    pub fn dummy_fraction(&self) -> f64 {
+        let total = self.recorded_bytes + self.dummy_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.dummy_bytes as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let c = Counters::new(2);
+        c.record_on_core(0, 32);
+        c.record_on_core(1, 16);
+        c.add(&c.dummy_bytes, 128);
+        let s = c.snapshot();
+        assert_eq!(s.records, 2);
+        assert_eq!(s.recorded_bytes, 48);
+        assert_eq!(s.dummy_bytes, 128);
+        assert_eq!(s.skips, 0);
+    }
+
+    #[test]
+    fn dummy_fraction_handles_zero() {
+        assert_eq!(Stats::default().dummy_fraction(), 0.0);
+        let s = Stats { recorded_bytes: 300, dummy_bytes: 100, ..Stats::default() };
+        assert!((s.dummy_fraction() - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,315 @@
+//! The on-disk dump format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   "BTDUMP01"                      8 bytes
+//! label   u16 length + bytes
+//! count   u64
+//! events  count × { stamp: u64, core: u16, tid: u32,
+//!                   payload_len: u32, payload bytes }
+//! crc     u64 (FNV-1a over everything before it)
+//! ```
+
+use btrace_core::sink::{FullEvent, TraceSink};
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"BTDUMP01";
+
+/// A self-contained snapshot of a drained trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDump {
+    label: String,
+    events: Vec<FullEvent>,
+}
+
+impl TraceDump {
+    /// Drains `sink` into a labelled dump.
+    pub fn capture<S: TraceSink>(label: &str, sink: &S) -> Self {
+        Self { label: label.to_string(), events: sink.drain_full() }
+    }
+
+    /// Builds a dump from already-drained events.
+    pub fn from_events(label: &str, events: Vec<FullEvent>) -> Self {
+        Self { label: label.to_string(), events }
+    }
+
+    /// The dump's label (symptom identifier, timestamp, …).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The captured events.
+    pub fn events(&self) -> &[FullEvent] {
+        &self.events
+    }
+
+    /// Serializes to `path` (atomically: write + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to(&self, path: &Path) -> Result<(), DumpError> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut w = Crc64Writer::new(BufWriter::new(File::create(&tmp)?));
+            w.write_all(MAGIC)?;
+            write_str(&mut w, &self.label)?;
+            w.write_all(&(self.events.len() as u64).to_le_bytes())?;
+            for e in &self.events {
+                w.write_all(&e.stamp.to_le_bytes())?;
+                w.write_all(&e.core.to_le_bytes())?;
+                w.write_all(&e.tid.to_le_bytes())?;
+                w.write_all(&(e.payload.len() as u32).to_le_bytes())?;
+                w.write_all(&e.payload)?;
+            }
+            let crc = w.crc();
+            w.write_all(&crc.to_le_bytes())?;
+            w.into_inner().flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Deserializes from `path`, verifying magic and checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`DumpError::Format`] on a corrupted or foreign file; I/O errors
+    /// propagate.
+    pub fn read_from(path: &Path) -> Result<Self, DumpError> {
+        let mut r = Crc64Reader::new(BufReader::new(File::open(path)?));
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(DumpError::Format("bad magic"));
+        }
+        let label = read_str(&mut r)?;
+        let count = read_u64(&mut r)?;
+        // Sanity bound so a corrupted count cannot trigger a huge allocation.
+        if count > 1 << 32 {
+            return Err(DumpError::Format("implausible event count"));
+        }
+        let mut events = Vec::with_capacity(count.min(1 << 20) as usize);
+        for _ in 0..count {
+            let stamp = read_u64(&mut r)?;
+            let core = read_u16(&mut r)?;
+            let tid = read_u32(&mut r)?;
+            let payload_len = read_u32(&mut r)? as usize;
+            if payload_len > 1 << 24 {
+                return Err(DumpError::Format("implausible payload length"));
+            }
+            let mut payload = vec![0u8; payload_len];
+            r.read_exact(&mut payload)?;
+            events.push(FullEvent { stamp, core, tid, payload });
+        }
+        let computed = r.crc();
+        let stored = read_u64(&mut r)?;
+        if computed != stored {
+            return Err(DumpError::Format("checksum mismatch"));
+        }
+        Ok(Self { label, events })
+    }
+}
+
+/// Failure to read or write a dump.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DumpError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid dump.
+    Format(&'static str),
+}
+
+impl fmt::Display for DumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DumpError::Io(e) => write!(f, "dump i/o failed: {e}"),
+            DumpError::Format(what) => write!(f, "invalid dump file: {what}"),
+        }
+    }
+}
+
+impl Error for DumpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DumpError::Io(e) => Some(e),
+            DumpError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DumpError {
+    fn from(e: io::Error) -> Self {
+        DumpError::Io(e)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+struct Crc64Writer<W> {
+    inner: W,
+    crc: u64,
+}
+
+impl<W: Write> Crc64Writer<W> {
+    fn new(inner: W) -> Self {
+        Self { inner, crc: FNV_OFFSET }
+    }
+    fn crc(&self) -> u64 {
+        self.crc
+    }
+    fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for Crc64Writer<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        for &b in &buf[..n] {
+            self.crc = (self.crc ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+struct Crc64Reader<R> {
+    inner: R,
+    crc: u64,
+}
+
+impl<R: Read> Crc64Reader<R> {
+    fn new(inner: R) -> Self {
+        Self { inner, crc: FNV_OFFSET }
+    }
+    fn crc(&self) -> u64 {
+        self.crc
+    }
+}
+
+impl<R: Read> Read for Crc64Reader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        for &b in &buf[..n] {
+            self.crc = (self.crc ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        Ok(n)
+    }
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    w.write_all(&(len as u16).to_le_bytes())?;
+    w.write_all(&bytes[..len])
+}
+
+fn read_str<R: Read>(r: &mut R) -> Result<String, DumpError> {
+    let len = read_u16(r)? as usize;
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes).map_err(|_| DumpError::Format("label is not utf-8"))
+}
+
+fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("btrace-persist-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn sample_events(n: u64) -> Vec<FullEvent> {
+        (0..n)
+            .map(|i| FullEvent {
+                stamp: i,
+                core: (i % 12) as u16,
+                tid: (i % 31) as u32,
+                payload: format!("event #{i}").into_bytes(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("a.btd");
+        let dump = TraceDump::from_events("boot-anr", sample_events(500));
+        dump.write_to(&path).expect("write");
+        let restored = TraceDump::read_from(&path).expect("read");
+        assert_eq!(restored, dump);
+        assert_eq!(restored.label(), "boot-anr");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_dump_roundtrips() {
+        let dir = tmpdir("empty");
+        let path = dir.join("e.btd");
+        let dump = TraceDump::from_events("nothing", vec![]);
+        dump.write_to(&path).expect("write");
+        assert_eq!(TraceDump::read_from(&path).expect("read").events().len(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("c.btd");
+        TraceDump::from_events("x", sample_events(50)).write_to(&path).expect("write");
+        let mut bytes = std::fs::read(&path).expect("read file");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        match TraceDump::read_from(&path) {
+            Err(DumpError::Format(_)) => {}
+            other => panic!("corruption must be detected, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_file_rejected() {
+        let dir = tmpdir("foreign");
+        let path = dir.join("f.btd");
+        std::fs::write(&path, b"this is not a dump at all").expect("write");
+        assert!(matches!(TraceDump::read_from(&path), Err(DumpError::Format("bad magic"))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = std::env::temp_dir().join("btrace-does-not-exist.btd");
+        assert!(matches!(TraceDump::read_from(&path), Err(DumpError::Io(_))));
+    }
+}

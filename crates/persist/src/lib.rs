@@ -1,0 +1,43 @@
+//! # btrace-persist — trace dumps and the collector daemon
+//!
+//! Smartphones trace into memory and *dump on suspicious symptoms* (§2.1):
+//! a daemon collector writes the ring buffer out when an anomaly detector
+//! fires, instead of persisting every event (which costs energy, flash
+//! lifetime, and write bandwidth). This crate provides that pipeline:
+//!
+//! * [`TraceDump`] — a self-contained snapshot of a drained trace with a
+//!   compact binary file format ([`TraceDump::write_to`] /
+//!   [`TraceDump::read_from`]); no external format dependency.
+//! * [`Collector`] — the daemon: watches a trigger, drains the tracer on
+//!   each firing, and keeps a bounded ring of the most recent dumps on
+//!   disk (rotation), like the beta-release collectors of §6.
+//!
+//! ```rust
+//! use btrace_core::{BTrace, Config};
+//! use btrace_core::sink::TraceSink;
+//! use btrace_persist::TraceDump;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tracer = BTrace::new(Config::new(1).buffer_bytes(256 << 10).active_blocks(16))?;
+//! tracer.producer(0)?.record_with(1, 7, b"suspicious event")?;
+//!
+//! let dump = TraceDump::capture("anr-2026-07-05", &tracer);
+//! let dir = std::env::temp_dir().join("btrace-doc-dump");
+//! std::fs::create_dir_all(&dir)?;
+//! let path = dir.join("trace.btd");
+//! dump.write_to(&path)?;
+//! let restored = TraceDump::read_from(&path)?;
+//! assert_eq!(restored.events()[0].payload, b"suspicious event");
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod collector;
+mod dump;
+
+pub use collector::{Collector, CollectorConfig};
+pub use dump::{DumpError, TraceDump};

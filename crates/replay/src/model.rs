@@ -1,0 +1,245 @@
+//! The synthetic mobile workload model, parameterised from the paper's
+//! published measurements (Figs. 2, 3, 4, 6).
+//!
+//! All constants are *shape-preserving* approximations read off the paper's
+//! charts: absolute magnitudes matter less than the relationships the
+//! evaluation depends on — little cores out-produce big cores in most
+//! scenarios, oversubscription is tens of threads per core per second, and
+//! level-3 tracing generates on the order of 100 MB per core per minute.
+
+/// Number of cores of the evaluation device (paper ref. 24): 4 little, 6 middle, 2 big.
+pub const CORES: usize = 12;
+
+/// Index ranges of the asymmetric clusters (Fig. 4 caption).
+pub const LITTLE_CORES: std::ops::Range<usize> = 0..4;
+/// Middle cluster.
+pub const MIDDLE_CORES: std::ops::Range<usize> = 4..10;
+/// Big cluster.
+pub const BIG_CORES: std::ops::Range<usize> = 10..12;
+
+/// Nominal duration the paper's traces cover (§5: 30 seconds).
+pub const TRACE_SECONDS: u32 = 30;
+
+/// Trace detail levels (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Minimal events (binder) for thread dependencies and hangs.
+    Level1 = 1,
+    /// Plus scheduling decisions and IRQs for performance issues.
+    Level2 = 2,
+    /// Plus custom energy/thermal detail for system-wide analysis.
+    Level3 = 3,
+}
+
+/// An atrace-style event category (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Category {
+    /// Category name as in Fig. 2.
+    pub name: &'static str,
+    /// Trace production rate in MB per core per minute (Fig. 2 bar height).
+    pub mb_per_core_min: f64,
+    /// The lowest level that enables this category (Fig. 3).
+    pub level: TraceLevel,
+}
+
+/// The Fig. 2 category table. Values approximate the published bars; the
+/// high-frequency categories the paper calls out (idle, freq, sched,
+/// energy/thermal) average ≈100 MB/core/min.
+pub const CATEGORIES: &[Category] = &[
+    Category { name: "binder_driver", mb_per_core_min: 28.0, level: TraceLevel::Level1 },
+    Category { name: "binder_lock", mb_per_core_min: 6.0, level: TraceLevel::Level1 },
+    Category { name: "sched", mb_per_core_min: 90.0, level: TraceLevel::Level2 },
+    Category { name: "irq", mb_per_core_min: 35.0, level: TraceLevel::Level2 },
+    Category { name: "view", mb_per_core_min: 18.0, level: TraceLevel::Level2 },
+    Category { name: "gfx", mb_per_core_min: 15.0, level: TraceLevel::Level2 },
+    Category { name: "input", mb_per_core_min: 4.0, level: TraceLevel::Level2 },
+    Category { name: "am", mb_per_core_min: 14.0, level: TraceLevel::Level2 },
+    Category { name: "wm", mb_per_core_min: 11.0, level: TraceLevel::Level2 },
+    Category { name: "dalvik", mb_per_core_min: 19.0, level: TraceLevel::Level2 },
+    Category { name: "pagecache", mb_per_core_min: 9.0, level: TraceLevel::Level2 },
+    Category { name: "network", mb_per_core_min: 8.0, level: TraceLevel::Level2 },
+    Category { name: "hal", mb_per_core_min: 12.0, level: TraceLevel::Level2 },
+    Category { name: "res", mb_per_core_min: 5.0, level: TraceLevel::Level2 },
+    Category { name: "ss", mb_per_core_min: 7.0, level: TraceLevel::Level2 },
+    Category { name: "idle", mb_per_core_min: 150.0, level: TraceLevel::Level3 },
+    Category { name: "freq", mb_per_core_min: 115.0, level: TraceLevel::Level3 },
+    Category { name: "power", mb_per_core_min: 10.0, level: TraceLevel::Level3 },
+    Category { name: "energy/thermal", mb_per_core_min: 95.0, level: TraceLevel::Level3 },
+];
+
+/// Aggregate production rate (MB per core per minute) with every category
+/// up to `level` enabled (the Fig. 3 level volumes).
+pub fn level_rate_mb_per_core_min(level: TraceLevel) -> f64 {
+    CATEGORIES.iter().filter(|c| c.level <= level).map(|c| c.mb_per_core_min).sum()
+}
+
+/// One replay scenario: the shape of a real 30-second smartphone trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Workload name (Table 2 column).
+    pub name: &'static str,
+    /// Events per second per core (Fig. 4; thousands of entries/sec).
+    pub core_rates: [u32; CORES],
+    /// Distinct threads producing traces per core within one second
+    /// (Fig. 6 "Per Sec.").
+    pub threads_per_core_sec: u32,
+    /// Distinct threads per core over the whole trace (Fig. 6 "Total 30s").
+    pub total_threads_per_core: u32,
+    /// Mean payload size in bytes (entry body, before header/padding).
+    pub mean_payload: u32,
+    /// Fraction of time the workload is bursty-idle (lock screen wakes up
+    /// periodically; games run flat out). 0.0 = steady, 0.9 = mostly idle
+    /// with bursts.
+    pub burstiness: f32,
+    /// Probability that a thread-level writer is preempted between its
+    /// reservation and its commit (per record). Scales with
+    /// oversubscription (§2.2 Observation 2).
+    pub preempt_mid_write: f32,
+}
+
+impl Scenario {
+    /// Number of simulated cores (always the 12-core phone).
+    pub fn cores(&self) -> usize {
+        CORES
+    }
+
+    /// Total events this scenario generates over the full trace at scale 1.
+    pub fn total_events(&self) -> u64 {
+        self.core_rates.iter().map(|&r| r as u64 * TRACE_SECONDS as u64).sum()
+    }
+
+    /// Skew ratio: fastest core rate over slowest non-zero core rate.
+    pub fn skew(&self) -> f64 {
+        let max = self.core_rates.iter().copied().max().unwrap_or(0) as f64;
+        let min = self.core_rates.iter().copied().filter(|&r| r > 0).min().unwrap_or(1) as f64;
+        max / min
+    }
+}
+
+/// Builds a core-rate array from per-cluster rates (entries/sec).
+const fn rates(little: u32, middle: u32, big: u32) -> [u32; CORES] {
+    [little, little, little, little, middle, middle, middle, middle, middle, middle, big, big]
+}
+
+macro_rules! scenario {
+    ($name:literal, $little:expr, $mid:expr, $big:expr, tps: $tps:expr, total: $total:expr,
+     payload: $payload:expr, burst: $burst:expr, preempt: $preempt:expr) => {
+        Scenario {
+            name: $name,
+            core_rates: rates($little, $mid, $big),
+            threads_per_core_sec: $tps,
+            total_threads_per_core: $total,
+            mean_payload: $payload,
+            burstiness: $burst,
+            preempt_mid_write: $preempt,
+        }
+    };
+}
+
+/// The 20 replay workloads of §5: top applications and games, developer
+/// testing software, and typical usage scenarios. Rates (entries/sec/core)
+/// follow Fig. 4: video and shopping apps hammer the little cores while the
+/// big cores doze; IM is symmetric; the lock screen is bursty and
+/// little-core-heavy; benchmarks load everything.
+pub static SCENARIOS: &[Scenario] = &[
+    // Typical usage scenarios.
+    scenario!("LockScr.", 9000, 1500, 400, tps: 18, total: 160, payload: 56, burst: 0.8, preempt: 0.004),
+    scenario!("Desktop", 15000, 5000, 1500, tps: 25, total: 260, payload: 56, burst: 0.3, preempt: 0.006),
+    scenario!("IM", 7000, 6500, 6000, tps: 30, total: 300, payload: 64, burst: 0.2, preempt: 0.008),
+    scenario!("Browser", 12000, 7000, 3000, tps: 32, total: 380, payload: 64, burst: 0.25, preempt: 0.008),
+    scenario!("Camera", 11000, 9000, 5000, tps: 28, total: 320, payload: 72, burst: 0.1, preempt: 0.007),
+    // Online video playback (Fig. 4: strongly little-heavy).
+    scenario!("Video-1", 16000, 6000, 1200, tps: 35, total: 420, payload: 64, burst: 0.15, preempt: 0.010),
+    scenario!("Video-2", 14000, 5500, 1000, tps: 33, total: 400, payload: 64, burst: 0.15, preempt: 0.009),
+    scenario!("Video-3", 17000, 7000, 1500, tps: 38, total: 450, payload: 64, burst: 0.1, preempt: 0.012),
+    // Shopping apps: heavy oversubscription (the paper's e-shop2 is the
+    // worst case for BBQ latency and LTTng drops).
+    scenario!("eShop-1", 13000, 8000, 2500, tps: 36, total: 430, payload: 72, burst: 0.2, preempt: 0.012),
+    scenario!("eShop-2", 15000, 9500, 3000, tps: 42, total: 500, payload: 72, burst: 0.2, preempt: 0.016),
+    // Social / media apps.
+    scenario!("SocNet-1", 12000, 8500, 4000, tps: 34, total: 410, payload: 64, burst: 0.2, preempt: 0.010),
+    scenario!("SocNet-2", 11000, 7500, 3500, tps: 32, total: 390, payload: 64, burst: 0.25, preempt: 0.009),
+    scenario!("News", 10000, 6000, 2000, tps: 28, total: 340, payload: 64, burst: 0.3, preempt: 0.007),
+    scenario!("Music", 8000, 4000, 1000, tps: 22, total: 240, payload: 56, burst: 0.4, preempt: 0.006),
+    scenario!("Map", 13000, 9000, 5000, tps: 33, total: 400, payload: 72, burst: 0.1, preempt: 0.009),
+    // Games: symmetric, high rate, big cores active.
+    scenario!("Game-1", 12000, 11000, 9000, tps: 26, total: 300, payload: 72, burst: 0.05, preempt: 0.008),
+    scenario!("Game-2", 13000, 12000, 10000, tps: 28, total: 320, payload: 72, burst: 0.05, preempt: 0.009),
+    // Developer testing software (memory/CPU/system performance).
+    scenario!("BenchCPU", 14000, 14000, 14000, tps: 20, total: 200, payload: 56, burst: 0.0, preempt: 0.006),
+    scenario!("BenchMem", 12000, 12000, 12000, tps: 20, total: 200, payload: 56, burst: 0.0, preempt: 0.006),
+    scenario!("BenchSys", 15000, 13000, 11000, tps: 30, total: 350, payload: 64, burst: 0.05, preempt: 0.010),
+];
+
+/// Scenario lookup helpers.
+pub mod scenarios {
+    use super::{Scenario, SCENARIOS};
+
+    /// All 20 scenarios, in Table 2 order.
+    pub fn all() -> &'static [Scenario] {
+        SCENARIOS
+    }
+
+    /// Finds a scenario by its Table 2 name.
+    pub fn by_name(name: &str) -> Option<&'static Scenario> {
+        SCENARIOS.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_scenarios_with_unique_names() {
+        assert_eq!(SCENARIOS.len(), 20);
+        let mut names: Vec<_> = SCENARIOS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+    }
+
+    #[test]
+    fn video_is_little_heavy_and_im_is_symmetric() {
+        let video = scenarios::by_name("Video-1").unwrap();
+        let im = scenarios::by_name("IM").unwrap();
+        assert!(video.skew() > 10.0, "video must be strongly skewed (Fig. 4)");
+        assert!(im.skew() < 1.5, "IM must be near-symmetric (Fig. 4)");
+    }
+
+    #[test]
+    fn level3_rate_is_about_100mb_per_core_min() {
+        // §2.2: "each core generates approximately 100 MB of trace data per
+        // minute on average" for the high-frequency categories; the full
+        // level-3 set lands in the few-hundred range of Fig. 2's axis.
+        let l3 = level_rate_mb_per_core_min(TraceLevel::Level3);
+        let l2 = level_rate_mb_per_core_min(TraceLevel::Level2);
+        let l1 = level_rate_mb_per_core_min(TraceLevel::Level1);
+        assert!(l1 < l2 && l2 < l3);
+        assert!((30.0..=60.0).contains(&l1), "level 1 is binder-only: {l1}");
+        assert!(l3 - l2 > 300.0, "level 3 adds the heavy custom categories");
+    }
+
+    #[test]
+    fn oversubscription_matches_fig6_magnitudes() {
+        for s in SCENARIOS {
+            assert!(s.threads_per_core_sec >= 15, "{}: tens of threads/core/sec", s.name);
+            assert!(s.total_threads_per_core >= s.threads_per_core_sec);
+            assert!(s.total_threads_per_core <= 600);
+        }
+        let heavy = scenarios::by_name("eShop-2").unwrap();
+        assert!(heavy.total_threads_per_core >= 400, "heavy load averages 400 threads (§2.2)");
+    }
+
+    #[test]
+    fn total_events_scale_with_rates() {
+        let s = scenarios::by_name("BenchCPU").unwrap();
+        assert_eq!(s.total_events(), 14_000u64 * 12 * 30);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(scenarios::by_name("eShop-2").is_some());
+        assert!(scenarios::by_name("DoesNotExist").is_none());
+    }
+}

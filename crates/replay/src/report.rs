@@ -1,0 +1,77 @@
+//! Replay results handed to the analysis crate.
+
+use btrace_core::sink::CollectedEvent;
+use std::time::Duration;
+
+/// Everything a replay produced, ready for `btrace-analysis`.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ReplayReport {
+    /// Tracer under test ([`TraceSink::name`](btrace_core::sink::TraceSink::name)).
+    pub tracer: &'static str,
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Total events generated (each consumed one logic stamp, whether or
+    /// not the tracer kept it).
+    pub written: u64,
+    /// Events generated per simulated core (the Fig. 4 skew as realized).
+    pub written_per_core: Vec<u64>,
+    /// Total on-buffer bytes the events would occupy if all were kept.
+    pub written_bytes: u64,
+    /// Events the tracer refused at record time (LTTng-style drops).
+    pub dropped_at_record: u64,
+    /// Events drained from the buffer after the replay quiesced.
+    pub retained: Vec<CollectedEvent>,
+    /// Sampled per-record latencies in nanoseconds.
+    pub latencies_ns: Vec<u64>,
+    /// Distinct producing threads observed per core.
+    pub tids_per_core: Vec<usize>,
+    /// The tracer's total buffer capacity.
+    pub capacity_bytes: usize,
+    /// Wall-clock duration of the replay.
+    pub wall: Duration,
+}
+
+impl ReplayReport {
+    /// Sorted, deduplicated retained stamps (for gap maps).
+    pub fn retained_stamps(&self) -> Vec<u64> {
+        let mut stamps: Vec<u64> = self.retained.iter().map(|e| e.stamp).collect();
+        stamps.sort_unstable();
+        stamps.dedup();
+        stamps
+    }
+
+    /// Fraction of written events that survived to the readout.
+    pub fn retention(&self) -> f64 {
+        if self.written == 0 {
+            0.0
+        } else {
+            self.retained.len() as f64 / self.written as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_are_sorted_and_deduped() {
+        let ev = |stamp| CollectedEvent { stamp, core: 0, tid: 0, stored_bytes: 8 };
+        let r = ReplayReport {
+            tracer: "x",
+            scenario: "y",
+            written: 4,
+            written_per_core: vec![4],
+            written_bytes: 32,
+            dropped_at_record: 0,
+            retained: vec![ev(3), ev(1), ev(3)],
+            latencies_ns: vec![],
+            tids_per_core: vec![],
+            capacity_bytes: 0,
+            wall: Duration::ZERO,
+        };
+        assert_eq!(r.retained_stamps(), vec![1, 3]);
+        assert!((r.retention() - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,126 @@
+//! Lock-free bitmap tracking which pages of a region are committed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-size concurrent bitmap with one bit per page.
+///
+/// Bit set ⇒ the page is committed. All operations use relaxed atomics plus
+/// the release/acquire edges the callers already establish around
+/// commit/decommit, so the bitmap is advisory bookkeeping, not a
+/// synchronization primitive.
+pub(crate) struct PageBitmap {
+    words: Box<[AtomicU64]>,
+    pages: usize,
+}
+
+impl PageBitmap {
+    pub(crate) fn new(pages: usize) -> Self {
+        let words = (0..pages.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        Self { words, pages }
+    }
+
+    pub(crate) fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// Sets bits `[start, start + count)` to `value`.
+    pub(crate) fn set_range(&self, start: usize, count: usize, value: bool) {
+        assert!(start + count <= self.pages, "bitmap range out of bounds");
+        for page in start..start + count {
+            let (word, bit) = (page / 64, page % 64);
+            if value {
+                self.words[word].fetch_or(1 << bit, Ordering::AcqRel);
+            } else {
+                self.words[word].fetch_and(!(1 << bit), Ordering::AcqRel);
+            }
+        }
+    }
+
+    pub(crate) fn get(&self, page: usize) -> bool {
+        assert!(page < self.pages, "bitmap index out of bounds");
+        let (word, bit) = (page / 64, page % 64);
+        self.words[word].load(Ordering::Acquire) & (1 << bit) != 0
+    }
+
+    /// Returns `true` when every page in `[start, start + count)` is set.
+    pub(crate) fn all_set(&self, start: usize, count: usize) -> bool {
+        (start..start + count).all(|p| self.get(p))
+    }
+
+    /// Number of committed pages.
+    pub(crate) fn count_set(&self) -> usize {
+        let full = self
+            .words
+            .iter()
+            .map(|w| w.load(Ordering::Acquire).count_ones() as usize)
+            .sum::<usize>();
+        full
+    }
+}
+
+impl std::fmt::Debug for PageBitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageBitmap")
+            .field("pages", &self.pages)
+            .field("committed", &self.count_set())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bitmap_is_clear() {
+        let bm = PageBitmap::new(100);
+        assert_eq!(bm.count_set(), 0);
+        assert!(!bm.get(0));
+        assert!(!bm.get(99));
+    }
+
+    #[test]
+    fn set_and_clear_ranges() {
+        let bm = PageBitmap::new(130);
+        bm.set_range(60, 10, true); // crosses a word boundary
+        assert!(bm.all_set(60, 10));
+        assert!(!bm.get(59));
+        assert!(!bm.get(70));
+        assert_eq!(bm.count_set(), 10);
+        bm.set_range(62, 3, false);
+        assert!(!bm.get(62));
+        assert!(!bm.get(64));
+        assert!(bm.get(61));
+        assert!(bm.get(65));
+        assert_eq!(bm.count_set(), 7);
+    }
+
+    #[test]
+    fn all_set_on_empty_range_is_true() {
+        let bm = PageBitmap::new(8);
+        assert!(bm.all_set(3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_set_panics() {
+        let bm = PageBitmap::new(8);
+        bm.set_range(7, 2, true);
+    }
+
+    #[test]
+    fn concurrent_setting_is_consistent() {
+        use std::sync::Arc;
+        let bm = Arc::new(PageBitmap::new(64 * 8));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let bm = Arc::clone(&bm);
+                std::thread::spawn(move || bm.set_range(i * 64, 64, true))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(bm.count_set(), 64 * 8);
+    }
+}

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`Region`](crate::Region) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RegionError {
+    /// The requested reservation size was zero or not page-aligned.
+    InvalidSize {
+        /// The size, in bytes, that was requested.
+        requested: usize,
+    },
+    /// An offset/length pair was not page-aligned or fell outside the region.
+    InvalidRange {
+        /// Start offset of the offending range.
+        offset: usize,
+        /// Length of the offending range.
+        len: usize,
+        /// Total reserved size of the region.
+        region: usize,
+    },
+    /// The operating system refused the reservation (out of address space).
+    ReserveFailed {
+        /// Raw negated errno value, when available.
+        errno: i32,
+    },
+    /// A commit or decommit syscall failed.
+    CommitFailed {
+        /// Raw negated errno value, when available.
+        errno: i32,
+    },
+}
+
+impl fmt::Display for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RegionError::InvalidSize { requested } => {
+                write!(f, "invalid region size {requested}: must be a non-zero multiple of the page size")
+            }
+            RegionError::InvalidRange { offset, len, region } => {
+                write!(f, "invalid range [{offset}, {offset}+{len}) for region of {region} bytes: must be page-aligned and in bounds")
+            }
+            RegionError::ReserveFailed { errno } => {
+                write!(f, "reserving address space failed (errno {errno})")
+            }
+            RegionError::CommitFailed { errno } => {
+                write!(f, "changing commit state failed (errno {errno})")
+            }
+        }
+    }
+}
+
+impl Error for RegionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = RegionError::InvalidSize { requested: 17 };
+        let text = err.to_string();
+        assert!(text.contains("17"));
+        assert!(text.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RegionError>();
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let err = RegionError::CommitFailed { errno: 12 };
+        assert!(!format!("{err:?}").is_empty());
+    }
+}

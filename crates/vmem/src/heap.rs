@@ -1,0 +1,94 @@
+//! Portable heap-backed region: the whole reservation stays resident, but the
+//! commit-state machine is enforced exactly like the mmap backend, and
+//! decommitted pages are poisoned in debug builds so a use-after-decommit is
+//! observable (the portable stand-in for the SIGSEGV a real `munmap` gives).
+
+use crate::error::RegionError;
+use crate::PAGE_SIZE;
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+
+/// Byte written over decommitted pages in debug builds.
+pub(crate) const POISON: u8 = 0xDE;
+
+pub(crate) struct HeapBacking {
+    ptr: *mut u8,
+    layout: Layout,
+}
+
+// SAFETY: the backing is a plain allocation; synchronization of the bytes is
+// the responsibility of the callers (producers write only to exclusively
+// allocated ranges).
+unsafe impl Send for HeapBacking {}
+unsafe impl Sync for HeapBacking {}
+
+impl HeapBacking {
+    pub(crate) fn reserve(max_bytes: usize) -> Result<Self, RegionError> {
+        let layout = Layout::from_size_align(max_bytes, PAGE_SIZE)
+            .map_err(|_| RegionError::InvalidSize { requested: max_bytes })?;
+        // SAFETY: layout has non-zero size (validated by the caller).
+        let ptr = unsafe { alloc_zeroed(layout) };
+        if ptr.is_null() {
+            return Err(RegionError::ReserveFailed { errno: 0 });
+        }
+        Ok(Self { ptr, layout })
+    }
+
+    pub(crate) fn as_ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Zero the range, mirroring the fresh-page guarantee of anonymous mmap.
+    pub(crate) fn commit(&self, offset: usize, len: usize) -> Result<(), RegionError> {
+        // SAFETY: caller validated the range against the reservation.
+        unsafe { self.ptr.add(offset).write_bytes(0, len) };
+        Ok(())
+    }
+
+    pub(crate) fn decommit(&self, offset: usize, len: usize) -> Result<(), RegionError> {
+        if cfg!(debug_assertions) {
+            // SAFETY: caller validated the range against the reservation.
+            unsafe { self.ptr.add(offset).write_bytes(POISON, len) };
+        }
+        let _ = (offset, len);
+        Ok(())
+    }
+}
+
+impl Drop for HeapBacking {
+    fn drop(&mut self) {
+        // SAFETY: ptr/layout come from alloc_zeroed above.
+        unsafe { dealloc(self.ptr, self.layout) };
+    }
+}
+
+impl std::fmt::Debug for HeapBacking {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapBacking")
+            .field("bytes", &self.layout.size())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_zeroes_previous_contents() {
+        let b = HeapBacking::reserve(2 * PAGE_SIZE).unwrap();
+        unsafe { b.as_ptr().write_bytes(7, PAGE_SIZE) };
+        b.commit(0, PAGE_SIZE).unwrap();
+        let first = unsafe { *b.as_ptr() };
+        assert_eq!(first, 0);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "poisoning only in debug builds")]
+    fn decommit_poisons_in_debug() {
+        let b = HeapBacking::reserve(PAGE_SIZE).unwrap();
+        b.commit(0, PAGE_SIZE).unwrap();
+        b.decommit(0, PAGE_SIZE).unwrap();
+        let first = unsafe { *b.as_ptr() };
+        assert_eq!(first, POISON);
+    }
+}

@@ -1,0 +1,53 @@
+//! # btrace-vmem — reserved memory regions with commit/decommit
+//!
+//! BTrace resizes its trace buffer at runtime (§4.4 of the paper): the
+//! *virtual* address range is reserved once at the maximum buffer size, while
+//! *physical* memory is committed and decommitted as the buffer grows and
+//! shrinks. This crate provides that substrate as a [`Region`]:
+//!
+//! * [`Region::reserve`] reserves `max_bytes` of address space;
+//! * [`Region::commit`] / [`Region::decommit`] move page-aligned ranges
+//!   between the committed and decommitted states;
+//! * decommitted ranges must never be touched — in debug builds the
+//!   [`HeapRegion`](Backing::Heap) backend poisons them and access checks
+//!   catch use-after-decommit, standing in for the SIGSEGV a real `munmap`
+//!   would deliver.
+//!
+//! Two backends are available (see [`Backing`]): an `mmap`-based one on
+//! Linux `x86_64`/`aarch64` (raw syscalls, no libc dependency) that uses
+//! `madvise(MADV_DONTNEED)` to return physical pages, and a portable
+//! heap-backed one used everywhere else and in tests.
+//!
+//! ```rust
+//! use btrace_vmem::{Region, PAGE_SIZE};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let region = Region::reserve(16 * PAGE_SIZE)?;
+//! region.commit(0, 4 * PAGE_SIZE)?;          // first four pages usable
+//! unsafe { region.as_ptr().write(42) };      // safe: committed + exclusive
+//! region.decommit(0, 4 * PAGE_SIZE)?;        // give the pages back
+//! assert!(!region.is_committed(0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod bitmap;
+mod error;
+mod heap;
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod mmap;
+mod region;
+
+pub use error::RegionError;
+pub use region::{Backing, Region};
+
+/// Granularity of commit/decommit operations, in bytes.
+///
+/// All offsets and lengths passed to [`Region::commit`] and
+/// [`Region::decommit`] must be multiples of this value. 4 KiB matches the
+/// page size of the smartphone SoCs the paper evaluates on and the data-block
+/// size used throughout the evaluation (§5).
+pub const PAGE_SIZE: usize = 4096;

@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: replay → tracer → analysis, exercising
+//! the same pipeline as the benchmark harness.
+
+use btrace::analysis::analyze;
+use btrace::baselines::{Bbq, PerCoreDropNewest, PerCoreOverwrite, PerThread};
+use btrace::core::{BTrace, Config};
+use btrace::replay::{scenarios, ReplayConfig, ReplayMode, Replayer};
+
+const CORES: usize = 12;
+const BLOCK: usize = 1024;
+const ACTIVE: usize = 16 * CORES;
+// Buffer must be a multiple of block_bytes * active_blocks.
+const TOTAL: usize = BLOCK * ACTIVE * 12; // 2.25 MiB
+
+fn btrace() -> BTrace {
+    BTrace::new(Config::new(CORES).active_blocks(ACTIVE).block_bytes(BLOCK).buffer_bytes(TOTAL))
+        .expect("valid configuration")
+}
+
+fn quick() -> ReplayConfig {
+    ReplayConfig { scale: 0.02, slices: 8, latency_sample_every: 0, ..ReplayConfig::table2() }
+}
+
+#[test]
+fn btrace_never_drops_and_never_gaps_interior() {
+    for name in ["LockScr.", "eShop-2", "Video-1"] {
+        let scenario = scenarios::by_name(name).expect("scenario exists");
+        let report = Replayer::new(scenario, quick()).run(&btrace());
+        assert_eq!(report.dropped_at_record, 0, "{name}: BTrace must never drop");
+        let metrics = analyze(&report.retained, report.capacity_bytes);
+        // Interior continuity: the loss rate within the retained range stays
+        // tiny (only skip-recycled stragglers can dent it).
+        assert!(metrics.loss_rate < 0.02, "{name}: loss {}", metrics.loss_rate);
+        // The newest written event is always retained (nothing newer was lost).
+        let newest = report.retained_stamps().last().copied().expect("events retained");
+        assert!(newest + 1 >= report.written - report.written / 100);
+    }
+}
+
+#[test]
+fn per_core_buffers_fragment_under_skew() {
+    let scenario = scenarios::by_name("Video-1").expect("strongly skewed scenario");
+    let config = quick().scale(0.08);
+    let bt = Replayer::new(scenario, config.clone()).run(&btrace());
+    let ft = Replayer::new(scenario, config).run(&PerCoreOverwrite::new(CORES, TOTAL));
+    let bt_m = analyze(&bt.retained, bt.capacity_bytes);
+    let ft_m = analyze(&ft.retained, ft.capacity_bytes);
+    assert!(
+        bt_m.latest_fragment_bytes > ft_m.latest_fragment_bytes,
+        "BTrace latest fragment ({}) must beat per-core buffers ({}) under skew",
+        bt_m.latest_fragment_bytes,
+        ft_m.latest_fragment_bytes
+    );
+    assert!(
+        ft_m.fragments > bt_m.fragments,
+        "per-core buffers must fragment more: ftrace {} vs btrace {}",
+        ft_m.fragments,
+        bt_m.fragments
+    );
+}
+
+#[test]
+fn drop_newest_loses_newest_under_oversubscription() {
+    let scenario = scenarios::by_name("eShop-2").expect("oversubscribed scenario");
+    let config = quick().scale(0.08);
+    let lt = Replayer::new(scenario, config).run(&PerCoreDropNewest::new(CORES, TOTAL, 2));
+    assert!(lt.dropped_at_record > 0, "LTTng-style must drop under heavy preemption");
+}
+
+#[test]
+fn per_thread_buffers_retain_least() {
+    let scenario = scenarios::by_name("eShop-1").expect("scenario exists");
+    let config = quick().scale(0.08);
+    let threads = scenario.total_threads_per_core as usize * CORES;
+    let vt = Replayer::new(scenario, config.clone()).run(&PerThread::new(TOTAL, threads));
+    let bt = Replayer::new(scenario, config).run(&btrace());
+    let vt_m = analyze(&vt.retained, vt.capacity_bytes);
+    let bt_m = analyze(&bt.retained, bt.capacity_bytes);
+    assert!(
+        vt_m.latest_fragment_bytes * 4 < bt_m.latest_fragment_bytes,
+        "per-thread latest fragment ({}) must be far below BTrace's ({})",
+        vt_m.latest_fragment_bytes,
+        bt_m.latest_fragment_bytes
+    );
+}
+
+#[test]
+fn bbq_matches_btrace_retention() {
+    let scenario = scenarios::by_name("Desktop").expect("scenario exists");
+    let config = quick().scale(0.08);
+    let bbq = Replayer::new(scenario, config.clone()).run(&Bbq::new(TOTAL, BLOCK));
+    let bt = Replayer::new(scenario, config).run(&btrace());
+    let bbq_m = analyze(&bbq.retained, bbq.capacity_bytes);
+    let bt_m = analyze(&bt.retained, bt.capacity_bytes);
+    // §5.2: BTrace's latest fragment lands within ~15% of the global
+    // buffer's near-ideal retention.
+    assert!(
+        bt_m.latest_fragment_bytes as f64 >= 0.8 * bbq_m.latest_fragment_bytes as f64,
+        "BTrace {} vs BBQ {}",
+        bt_m.latest_fragment_bytes,
+        bbq_m.latest_fragment_bytes
+    );
+}
+
+#[test]
+fn core_level_and_thread_level_both_converge() {
+    let scenario = scenarios::by_name("IM").expect("scenario exists");
+    for mode in [ReplayMode::CoreLevel, ReplayMode::ThreadLevel] {
+        let config = quick().mode(mode);
+        let report = Replayer::new(scenario, config).run(&btrace());
+        assert!(report.written > 0);
+        assert!(!report.retained.is_empty(), "{mode:?} retained nothing");
+    }
+}
+
+#[test]
+fn resize_during_replay_keeps_recording() {
+    let scenario = scenarios::by_name("Browser").expect("scenario exists");
+    let stride = BLOCK * ACTIVE;
+    let tracer = BTrace::new(
+        Config::new(CORES)
+            .active_blocks(16 * CORES)
+            .block_bytes(1024)
+            .buffer_bytes(stride)
+            .max_bytes(4 * stride),
+    )
+    .expect("valid configuration");
+    let t2 = tracer.clone();
+    let resizer = std::thread::spawn(move || {
+        for _ in 0..5 {
+            t2.resize_bytes(4 * stride).expect("grow");
+            t2.resize_bytes(stride).expect("shrink");
+        }
+    });
+    let report = Replayer::new(scenario, quick()).run(&tracer);
+    resizer.join().expect("resizer");
+    assert_eq!(report.dropped_at_record, 0);
+    assert!(tracer.stats().resizes >= 10);
+}
+
+#[test]
+fn collected_events_match_what_was_written() {
+    // Payload integrity across the whole pipeline: every drained stamp was
+    // written exactly once with the size the generator chose.
+    let scenario = scenarios::by_name("Music").expect("scenario exists");
+    let report = Replayer::new(scenario, quick()).run(&btrace());
+    let stamps = report.retained_stamps();
+    assert_eq!(stamps.len(), report.retained.len(), "no duplicate stamps");
+    assert!(stamps.iter().all(|&s| s < report.written));
+}

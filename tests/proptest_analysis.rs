@@ -1,0 +1,101 @@
+//! Property-based tests on the analysis crate's metric definitions.
+
+use btrace::analysis::{analyze, gap_map, geometric_mean, percentile, BoxStats, GapMapOptions};
+use btrace::core::sink::CollectedEvent;
+use proptest::prelude::*;
+
+fn events(stamps: &[u64]) -> Vec<CollectedEvent> {
+    stamps.iter().map(|&stamp| CollectedEvent { stamp, core: 0, tid: 0, stored_bytes: 16 }).collect()
+}
+
+proptest! {
+    #[test]
+    fn metrics_are_well_formed(stamps in proptest::collection::vec(0u64..5000, 0..600)) {
+        let m = analyze(&events(&stamps), 1 << 20);
+        prop_assert!((0.0..=1.0).contains(&m.loss_rate));
+        prop_assert!(m.latest_fragment_bytes <= m.retained_bytes);
+        prop_assert!(m.latest_fragment_events <= m.retained_events);
+        if stamps.is_empty() {
+            prop_assert_eq!(m.fragments, 0);
+        } else {
+            prop_assert!(m.fragments >= 1);
+            prop_assert!(m.fragments <= m.retained_events);
+        }
+    }
+
+    /// Metrics are order- and duplicate-insensitive.
+    #[test]
+    fn metrics_ignore_order_and_duplicates(mut stamps in proptest::collection::vec(0u64..1000, 1..200)) {
+        let forward = analyze(&events(&stamps), 4096);
+        stamps.reverse();
+        let mut doubled = stamps.clone();
+        doubled.extend_from_slice(&stamps);
+        let shuffled = analyze(&events(&doubled), 4096);
+        prop_assert_eq!(forward, shuffled);
+    }
+
+    /// Splitting a contiguous range by removing one interior element adds
+    /// exactly one fragment and makes the loss rate positive.
+    #[test]
+    fn removing_interior_element_splits(start in 0u64..1000, len in 3u64..100, cut in 1u64..98) {
+        prop_assume!(cut < len - 1);
+        let full: Vec<u64> = (start..start + len).collect();
+        let m_full = analyze(&events(&full), 1 << 20);
+        let holed: Vec<u64> = full.iter().copied().filter(|&s| s != start + cut).collect();
+        let m_holed = analyze(&events(&holed), 1 << 20);
+        prop_assert_eq!(m_full.fragments, 1);
+        prop_assert_eq!(m_holed.fragments, 2);
+        prop_assert!(m_holed.loss_rate > 0.0);
+        prop_assert!(m_holed.latest_fragment_events == (len - cut - 1) as usize);
+    }
+
+    #[test]
+    fn gap_map_shape(stamps in proptest::collection::vec(0u64..10_000, 0..500),
+                     width in 1usize..120, window in 1u64..10_000) {
+        let map = gap_map(&stamps, 9_999, GapMapOptions { window, width });
+        prop_assert_eq!(map.chars().count(), width);
+        // Retaining every written stamp fills every column (the window
+        // never extends past what was written, and each column covers at
+        // least one stamp).
+        prop_assume!(width as u64 <= window);
+        let all: Vec<u64> = (0..10_000).collect();
+        let full = gap_map(&all, 9_999, GapMapOptions { window, width });
+        prop_assert!(full.chars().all(|c| c == '█' || c == '▓'), "{}", full);
+    }
+
+    #[test]
+    fn geomean_between_min_and_max(samples in proptest::collection::vec(1u64..1_000_000, 1..200)) {
+        let gm = geometric_mean(&samples);
+        let min = *samples.iter().min().unwrap() as f64;
+        let max = *samples.iter().max().unwrap() as f64;
+        prop_assert!(gm >= min * 0.999 && gm <= max * 1.001, "gm {gm} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn percentiles_are_monotone(mut samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        samples.sort_unstable();
+        let mut last = f64::MIN;
+        for q in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = percentile(&samples, q);
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn box_stats_are_ordered(samples in proptest::collection::vec(0u64..100_000, 1..300)) {
+        let b = BoxStats::from_samples(samples.clone()).unwrap();
+        // Quartiles are ordered; whiskers bracket each other. (A whisker can
+        // legitimately cross an *interpolated* quartile on tiny samples —
+        // e.g. [0, 30337, 37562, 38997], where 0 is an outlier and q1 is
+        // interpolated below the smallest non-outlier — so only the weaker
+        // orderings are universal.)
+        prop_assert!(b.q1 <= b.median);
+        prop_assert!(b.median <= b.q3);
+        prop_assert!(b.whisker_lo <= b.whisker_hi + 1e-9);
+        prop_assert!(b.outliers.len() < samples.len());
+        // Whiskers are actual samples within the fences.
+        prop_assert!(samples.iter().any(|&v| v as f64 == b.whisker_lo));
+        prop_assert!(samples.iter().any(|&v| v as f64 == b.whisker_hi));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the serialization layers: the atrace event codec and
+//! the persist dump format.
+
+use btrace::atrace::{OwnedEvent, TraceEvent};
+use btrace::core::sink::FullEvent;
+use btrace::persist::TraceDump;
+use proptest::prelude::*;
+
+fn arb_trace_event() -> impl Strategy<Value = OwnedEvent> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>(), any::<u8>())
+            .prop_map(|(prev, next, prio)| OwnedEvent::SchedSwitch { prev, next, prio }),
+        (any::<u32>(), any::<u8>()).prop_map(|(tid, cpu)| OwnedEvent::SchedWakeup { tid, cpu }),
+        (any::<u32>(), any::<u8>(), any::<u8>())
+            .prop_map(|(tid, from_cpu, to_cpu)| OwnedEvent::SchedMigrate { tid, from_cpu, to_cpu }),
+        (any::<u16>(), any::<bool>()).prop_map(|(irq, enter)| OwnedEvent::Irq { irq, enter }),
+        (any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(from, to, code)| OwnedEvent::BinderTxn { from, to, code }),
+        (any::<u8>(), any::<u32>()).prop_map(|(cpu, khz)| OwnedEvent::FreqChange { cpu, khz }),
+        (any::<u8>(), any::<u8>()).prop_map(|(cpu, state)| OwnedEvent::IdleEnter { cpu, state }),
+        any::<u8>().prop_map(|cpu| OwnedEvent::IdleExit { cpu }),
+        (any::<u8>(), any::<u32>()).prop_map(|(zone, mdeg)| OwnedEvent::ThermalThrottle { zone, mdeg }),
+        (any::<u8>(), any::<u32>()).prop_map(|(cluster, mw)| OwnedEvent::EnergyEstimate { cluster, mw }),
+        ("[a-z_]{0,20}", any::<i64>()).prop_map(|(name, value)| OwnedEvent::Counter { name, value }),
+        "[ -~]{0,30}".prop_map(|msg| OwnedEvent::Begin { msg }),
+        Just(OwnedEvent::End),
+    ]
+}
+
+fn encode(event: &OwnedEvent) -> Vec<u8> {
+    let borrowed: TraceEvent<'_> = match event {
+        OwnedEvent::SchedSwitch { prev, next, prio } => {
+            TraceEvent::SchedSwitch { prev: *prev, next: *next, prio: *prio }
+        }
+        OwnedEvent::SchedWakeup { tid, cpu } => TraceEvent::SchedWakeup { tid: *tid, cpu: *cpu },
+        OwnedEvent::SchedMigrate { tid, from_cpu, to_cpu } => {
+            TraceEvent::SchedMigrate { tid: *tid, from_cpu: *from_cpu, to_cpu: *to_cpu }
+        }
+        OwnedEvent::Irq { irq, enter } => TraceEvent::Irq { irq: *irq, enter: *enter },
+        OwnedEvent::BinderTxn { from, to, code } => {
+            TraceEvent::BinderTxn { from: *from, to: *to, code: *code }
+        }
+        OwnedEvent::FreqChange { cpu, khz } => TraceEvent::FreqChange { cpu: *cpu, khz: *khz },
+        OwnedEvent::IdleEnter { cpu, state } => TraceEvent::IdleEnter { cpu: *cpu, state: *state },
+        OwnedEvent::IdleExit { cpu } => TraceEvent::IdleExit { cpu: *cpu },
+        OwnedEvent::ThermalThrottle { zone, mdeg } => {
+            TraceEvent::ThermalThrottle { zone: *zone, mdeg: *mdeg }
+        }
+        OwnedEvent::EnergyEstimate { cluster, mw } => {
+            TraceEvent::EnergyEstimate { cluster: *cluster, mw: *mw }
+        }
+        OwnedEvent::Counter { name, value } => TraceEvent::Counter { name, value: *value },
+        OwnedEvent::Begin { msg } => TraceEvent::Begin { msg },
+        OwnedEvent::End => TraceEvent::End,
+        _ => unreachable!("non-exhaustive enum extension"),
+    };
+    let mut buf = [0u8; 64];
+    let len = borrowed.encode(&mut buf);
+    buf[..len].to_vec()
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrips_every_event(event in arb_trace_event()) {
+        let bytes = encode(&event);
+        let decoded = OwnedEvent::decode(&bytes).expect("decodes");
+        prop_assert_eq!(decoded, event);
+    }
+
+    #[test]
+    fn codec_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let _ = OwnedEvent::decode(&bytes); // must not panic
+    }
+
+    #[test]
+    fn truncation_yields_error_not_panic(event in arb_trace_event(), cut in 0usize..64) {
+        let bytes = encode(&event);
+        let cut = cut % bytes.len().max(1);
+        let _ = OwnedEvent::decode(&bytes[..cut]); // Err or shorter-variant Ok; never panics
+    }
+
+    #[test]
+    fn dump_roundtrips(
+        label in "[ -~]{0,40}",
+        raw in proptest::collection::vec(
+            (any::<u64>(), any::<u16>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            0..100,
+        )
+    ) {
+        let events: Vec<FullEvent> = raw
+            .into_iter()
+            .map(|(stamp, core, tid, payload)| FullEvent { stamp, core, tid, payload })
+            .collect();
+        let dir = std::env::temp_dir().join(format!("btrace-prop-dump-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("prop.btd");
+        let dump = TraceDump::from_events(&label, events);
+        dump.write_to(&path).expect("write");
+        let restored = TraceDump::read_from(&path).expect("read");
+        prop_assert_eq!(restored, dump);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests on the BTrace core invariants: arbitrary sequences
+//! of records, two-phase grants, preemption interleavings, and resizes must
+//! never panic, never corrupt an event, and never lose the newest data.
+
+use btrace::core::sink::TraceSink;
+use btrace::core::{BTrace, Config, Grant};
+use proptest::prelude::*;
+
+const BLOCK: usize = 256;
+
+fn tracer(cores: usize, active: usize, ratio: usize) -> BTrace {
+    BTrace::new(
+        Config::new(cores)
+            .active_blocks(active)
+            .block_bytes(BLOCK)
+            .buffer_bytes(BLOCK * active * ratio)
+            .max_bytes(BLOCK * active * ratio.max(4)),
+    )
+    .expect("valid configuration")
+}
+
+/// One step of the single-threaded operation machine.
+#[derive(Debug, Clone)]
+enum Op {
+    Record { core: usize, len: usize },
+    Begin { core: usize, len: usize },
+    Commit { slot: usize },
+    Abandon { slot: usize },
+    Resize { ratio: usize },
+    Collect,
+}
+
+fn op_strategy(cores: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..cores, 0usize..64).prop_map(|(core, len)| Op::Record { core, len }),
+        2 => (0..cores, 0usize..64).prop_map(|(core, len)| Op::Begin { core, len }),
+        2 => (0usize..4).prop_map(|slot| Op::Commit { slot }),
+        1 => (0usize..4).prop_map(|slot| Op::Abandon { slot }),
+        1 => (1usize..=4).prop_map(|ratio| Op::Resize { ratio }),
+        1 => Just(Op::Collect),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The full state machine: any interleaving of records, held grants,
+    /// abandons, resizes, and collects preserves the core invariants.
+    #[test]
+    fn operation_sequences_preserve_invariants(
+        ops in proptest::collection::vec(op_strategy(3), 1..200)
+    ) {
+        let cores = 3;
+        // Active blocks must exceed the maximum number of concurrently held
+        // grants, or every active block can end up pinned and the
+        // advancement loop (correctly) finds no candidate: real preemption
+        // is transient, but the state machine would hold grants forever.
+        let t = tracer(cores, 4 * cores, 4);
+        let mut stamp = 0u64;
+        let mut written: Vec<(u64, usize)> = Vec::new();
+        let mut held: Vec<Option<(Grant, u64, usize)>> = (0..4).map(|_| None).collect();
+
+        for op in ops {
+            match op {
+                Op::Record { core, len } => {
+                    let payload = vec![0xC3u8; len];
+                    t.producer(core).unwrap().record_with(stamp, 1, &payload).unwrap();
+                    written.push((stamp, len));
+                    stamp += 1;
+                }
+                Op::Begin { core, len } => {
+                    if let Some(slot) = held.iter_mut().find(|s| s.is_none()) {
+                        let grant = t.producer(core).unwrap().begin(len).unwrap();
+                        *slot = Some((grant, stamp, len));
+                        stamp += 1; // stamps are assigned at reservation time
+                    }
+                }
+                Op::Commit { slot } => {
+                    let idx = slot % held.len();
+                    if let Some((grant, s, len)) = held[idx].take() {
+                        let payload = vec![0x5Au8; len];
+                        grant.commit(s, 2, &payload).unwrap();
+                        written.push((s, len));
+                    }
+                }
+                Op::Abandon { slot } => {
+                    // Dropping an uncommitted grant must be harmless.
+                    let idx = slot % held.len();
+                    held[idx].take();
+                }
+                Op::Resize { ratio } => {
+                    // A shrink waits for open grants (the implicit reference
+                    // count) with a multi-second deadline; the dedicated
+                    // `shrink_waits_for_open_grants` test covers that path.
+                    // Here, resize only from grant-free states so the state
+                    // machine stays fast.
+                    if held.iter().all(|h| h.is_none()) {
+                        t.resize_bytes(BLOCK * t.active_blocks() * ratio).unwrap();
+                    }
+                }
+                Op::Collect => {
+                    let _ = t.consumer().collect();
+                }
+            }
+        }
+        drop(held); // abandon the rest
+
+        let readout = t.consumer().collect();
+        // 1. No invented events: every event returned was actually written,
+        //    with its exact payload length.
+        for e in &readout.events {
+            prop_assert!(
+                written.iter().any(|&(s, len)| s == e.stamp() && len == e.payload().len()),
+                "event {e:?} was never written"
+            );
+        }
+        // 2. No duplicates.
+        let mut stamps: Vec<u64> = readout.events.iter().map(|e| e.stamp()).collect();
+        stamps.sort_unstable();
+        let before = stamps.len();
+        stamps.dedup();
+        prop_assert_eq!(before, stamps.len(), "duplicate stamps in readout");
+    }
+
+    /// Single-producer traffic without holds: the retained trace is always a
+    /// contiguous *suffix* of what was written (nothing newer is ever lost,
+    /// no interior gaps).
+    #[test]
+    fn retained_is_a_contiguous_suffix(
+        lens in proptest::collection::vec(0usize..100, 1..400),
+        active in 2usize..8,
+        ratio in 1usize..5,
+    ) {
+        let t = tracer(1, active, ratio);
+        for (i, &len) in lens.iter().enumerate() {
+            let payload = vec![0xEEu8; len];
+            t.producer(0).unwrap().record_with(i as u64, 0, &payload).unwrap();
+        }
+        let readout = t.consumer().collect();
+        prop_assert!(!readout.events.is_empty());
+        let stamps: Vec<u64> = readout.events.iter().map(|e| e.stamp()).collect();
+        prop_assert_eq!(*stamps.last().unwrap() as usize, lens.len() - 1, "newest lost");
+        for w in stamps.windows(2) {
+            prop_assert_eq!(w[1], w[0] + 1, "interior gap");
+        }
+    }
+
+    /// Payload bytes survive verbatim at every length and alignment.
+    #[test]
+    fn payload_roundtrip_is_exact(payload in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let t = tracer(1, 4, 4);
+        t.producer(0).unwrap().record_with(7, 3, &payload).unwrap();
+        let readout = t.consumer().collect();
+        prop_assert_eq!(readout.events.len(), 1);
+        prop_assert_eq!(readout.events[0].payload(), &payload[..]);
+        prop_assert_eq!(readout.events[0].tid(), 3);
+    }
+
+    /// Concurrent multi-core traffic: drained events are exactly a subset of
+    /// written ones, intact, and the per-core newest survives.
+    #[test]
+    fn concurrent_cores_never_corrupt(seed in any::<u64>()) {
+        let cores = 3;
+        let t = tracer(cores, 2 * cores, 3);
+        let per_core = 400u64;
+        std::thread::scope(|scope| {
+            for core in 0..cores {
+                let producer = t.producer(core).unwrap();
+                scope.spawn(move || {
+                    for i in 0..per_core {
+                        let stamp = core as u64 * 10_000 + i;
+                        let len = ((seed ^ stamp) % 60) as usize;
+                        let payload = vec![core as u8; len];
+                        producer.record_with(stamp, core as u32, &payload).unwrap();
+                    }
+                });
+            }
+        });
+        // A sentinel recorded after every writer quiesced: nothing newer
+        // exists, so overwrite can never claim it.
+        let sentinel = 999_999u64;
+        t.producer(0).unwrap().record_with(sentinel, 0, b"sentinel").unwrap();
+        let drained = t.drain();
+        for e in &drained {
+            if e.stamp == sentinel {
+                continue;
+            }
+            let core = (e.stamp / 10_000) as usize;
+            let i = e.stamp % 10_000;
+            prop_assert!(core < cores && i < per_core, "corrupt stamp {}", e.stamp);
+            prop_assert_eq!(e.core as usize, core, "event migrated cores");
+        }
+        prop_assert!(drained.iter().any(|e| e.stamp == sentinel), "the newest event was lost");
+        // (A finished core's own tail *can* be overwritten by another
+        // core's wrap-around — that is the global buffer working as
+        // intended, so no per-core-newest assertion here.)
+    }
+}

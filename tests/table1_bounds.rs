@@ -1,0 +1,144 @@
+//! Checks the analytical bounds of the paper's Table 1 against measured
+//! behaviour:
+//!
+//! * per-core buffers: worst-case utilization `1/C`;
+//! * per-thread buffers: worst-case utilization `1/T`;
+//! * BTrace: worst-case utilization `≥ 1 − (C−1)/N` and effectivity ratio
+//!   `≈ 1 − A/N` when closed blocks are fully utilized.
+
+use btrace::analysis::analyze;
+use btrace::baselines::{PerCoreOverwrite, PerThread};
+use btrace::core::sink::TraceSink;
+use btrace::core::{BTrace, Config};
+
+const BLOCK: usize = 256;
+
+/// An adversarial workload: a single core produces everything.
+#[test]
+fn per_core_worst_case_is_one_over_c() {
+    let cores = 8;
+    let total = 64 * 1024;
+    let t = PerCoreOverwrite::new(cores, total);
+    for i in 0..20_000u64 {
+        t.record(0, 0, i, b"busy little core entry!!");
+    }
+    let retained: usize = t.drain().iter().map(|e| e.stored_bytes as usize).sum();
+    assert!(retained <= total / cores, "retained {retained} > total/C {}", total / cores);
+}
+
+#[test]
+fn per_thread_worst_case_is_one_over_t() {
+    let threads = 64;
+    let total = 64 * 1024;
+    let t = PerThread::new(total, threads);
+    for i in 0..20_000u64 {
+        t.record(0, 7, i, b"one hot thread entry!!!!");
+    }
+    let retained: usize = t.drain().iter().map(|e| e.stored_bytes as usize).sum();
+    assert!(retained <= total / threads + 64, "retained {retained} > total/T {}", total / threads);
+}
+
+/// Table 1: with all other C−1 cores idle after claiming one block each,
+/// one core still utilizes ≥ 1 − (C−1)/N − A/N of the buffer (utilization
+/// bound combined with the closing horizon).
+#[test]
+fn btrace_single_busy_core_uses_nearly_everything() {
+    let cores = 8;
+    let active = 8; // A = C, the minimum
+    let n = 64; // blocks
+    let t = BTrace::new(
+        Config::new(cores).active_blocks(active).block_bytes(BLOCK).buffer_bytes(BLOCK * n),
+    )
+    .expect("valid configuration");
+    // The other cores exist (and hold one pre-assigned block each) but are
+    // idle; only core 0 records.
+    let p = t.producer(0).expect("core 0 exists");
+    for i in 0..20_000u64 {
+        p.record_with(i, 0, b"only core zero works!").expect("fits");
+    }
+    let m = analyze(&t.drain(), t.capacity_bytes());
+    // Bound: the busy core reaches everything except the other cores'
+    // claimed blocks (C−1 of them) and the closing horizon (A blocks).
+    let reachable = 1.0 - (cores - 1 + active) as f64 / n as f64;
+    let measured = m.retained_bytes as f64 / t.capacity_bytes() as f64;
+    assert!(
+        measured >= reachable * 0.85,
+        "utilization {measured:.3} far below the Table 1 bound {reachable:.3}"
+    );
+    // And the latest fragment is a contiguous suffix of comparable size.
+    assert!(m.latest_fragment_bytes as f64 >= 0.8 * m.retained_bytes as f64);
+}
+
+/// §3.2: `1 − A/N` is the *guaranteed* effectivity — the A active blocks
+/// are the ones a concurrent closer may truncate. Two checks:
+///
+/// 1. at quiescence the measured effectivity meets the guarantee for every
+///    `A` (and in fact approaches 1, since settled active blocks become
+///    readable too);
+/// 2. with the A-horizon of blocks *pinned mid-write* (the adversarial
+///    case the bound is about), the guaranteed portion is still intact.
+#[test]
+fn effectivity_meets_the_one_minus_a_over_n_guarantee() {
+    let cores = 2;
+    let n = 128;
+    for active in [4usize, 32, 64] {
+        let t = BTrace::new(
+            Config::new(cores).active_blocks(active).block_bytes(BLOCK).buffer_bytes(BLOCK * n),
+        )
+        .expect("valid configuration");
+        let p = t.producer(0).expect("core 0 exists");
+        for i in 0..30_000u64 {
+            p.record_with(i, 0, b"01234567").expect("fits");
+        }
+        let m = analyze(&t.drain(), t.capacity_bytes());
+        let guarantee = 1.0 - active as f64 / n as f64;
+        assert!(
+            m.effectivity_ratio >= guarantee * 0.9,
+            "A={active}: effectivity {:.3} misses the 1 - A/N guarantee {guarantee:.3}",
+            m.effectivity_ratio
+        );
+    }
+}
+
+/// The adversarial side of the same bound: an open grant in the current
+/// block makes exactly the unconfirmed horizon unreadable — everything
+/// older than the active window survives as one continuous run.
+#[test]
+fn open_grant_costs_at_most_the_active_window() {
+    let cores = 2;
+    let (active, n) = (8usize, 64);
+    let t = BTrace::new(
+        Config::new(cores).active_blocks(active).block_bytes(BLOCK).buffer_bytes(BLOCK * n),
+    )
+    .expect("valid configuration");
+    let p = t.producer(0).expect("core 0 exists");
+    for i in 0..10_000u64 {
+        p.record_with(i, 0, b"01234567").expect("fits");
+    }
+    // Pin the current block mid-write.
+    let grant = p.begin(8).expect("fits");
+    let m = analyze(&t.drain(), t.capacity_bytes());
+    let guarantee = 1.0 - active as f64 / n as f64;
+    assert!(
+        m.retained_bytes as f64 / t.capacity_bytes() as f64 >= guarantee * 0.9,
+        "pinned block cost more than the active window: {:.3} < {guarantee:.3}",
+        m.retained_bytes as f64 / t.capacity_bytes() as f64
+    );
+    drop(grant);
+}
+
+/// BBQ's utilization is 1: a single producer fills the entire buffer.
+#[test]
+fn bbq_utilization_is_full() {
+    use btrace::baselines::Bbq;
+    let total = 64 * 1024;
+    let q = Bbq::new(total, 1024);
+    for i in 0..20_000u64 {
+        q.record(0, 0, i, b"global buffer entry data");
+    }
+    let retained: usize = q.drain().iter().map(|e| e.stored_bytes as usize).sum();
+    assert!(
+        retained as f64 >= 0.9 * total as f64,
+        "BBQ should fill nearly the whole buffer, got {retained} of {total}"
+    );
+}
