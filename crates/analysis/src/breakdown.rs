@@ -76,8 +76,7 @@ mod tests {
 
     #[test]
     fn groups_by_core_with_ranges() {
-        let events =
-            vec![ev(1, 0, 10, 32), ev(2, 1, 11, 16), ev(3, 0, 10, 32), ev(9, 0, 12, 8)];
+        let events = vec![ev(1, 0, 10, 32), ev(2, 1, 11, 16), ev(3, 0, 10, 32), ev(9, 0, 12, 8)];
         let cores = by_core(&events);
         assert_eq!(cores.len(), 2);
         assert_eq!(cores[0].key, 0);

@@ -115,15 +115,19 @@ impl BoxStats {
         let iqr = q3 - q1;
         let lo_bound = q1 - 1.5 * iqr;
         let hi_bound = q3 + 1.5 * iqr;
-        let whisker_lo = samples.iter().copied().find(|&v| v as f64 >= lo_bound).unwrap_or(samples[0]) as f64;
+        let whisker_lo =
+            samples.iter().copied().find(|&v| v as f64 >= lo_bound).unwrap_or(samples[0]) as f64;
         let whisker_hi = samples
             .iter()
             .rev()
             .copied()
             .find(|&v| v as f64 <= hi_bound)
             .unwrap_or(*samples.last().expect("non-empty")) as f64;
-        let outliers =
-            samples.iter().copied().filter(|&v| (v as f64) < lo_bound || (v as f64) > hi_bound).collect();
+        let outliers = samples
+            .iter()
+            .copied()
+            .filter(|&v| (v as f64) < lo_bound || (v as f64) > hi_bound)
+            .collect();
         Some(Self { q1, median, q3, whisker_lo, whisker_hi, outliers })
     }
 }

@@ -113,14 +113,16 @@ impl TraceEvent<'_> {
     /// The category this event belongs to.
     pub fn category(&self) -> Category {
         match self {
-            TraceEvent::SchedSwitch { .. } | TraceEvent::SchedWakeup { .. } | TraceEvent::SchedMigrate { .. } => {
-                Category::SCHED
-            }
+            TraceEvent::SchedSwitch { .. }
+            | TraceEvent::SchedWakeup { .. }
+            | TraceEvent::SchedMigrate { .. } => Category::SCHED,
             TraceEvent::Irq { .. } => Category::IRQ,
             TraceEvent::BinderTxn { .. } => Category::BINDER_DRIVER,
             TraceEvent::FreqChange { .. } => Category::FREQ,
             TraceEvent::IdleEnter { .. } | TraceEvent::IdleExit { .. } => Category::IDLE,
-            TraceEvent::ThermalThrottle { .. } | TraceEvent::EnergyEstimate { .. } => Category::ENERGY_THERMAL,
+            TraceEvent::ThermalThrottle { .. } | TraceEvent::EnergyEstimate { .. } => {
+                Category::ENERGY_THERMAL
+            }
             TraceEvent::Counter { .. } => Category::SS,
             TraceEvent::Begin { .. } | TraceEvent::End => Category::VIEW,
         }
@@ -303,7 +305,9 @@ impl OwnedEvent {
 
     fn as_borrowed(&self) -> TraceEvent<'_> {
         match *self {
-            OwnedEvent::SchedSwitch { prev, next, prio } => TraceEvent::SchedSwitch { prev, next, prio },
+            OwnedEvent::SchedSwitch { prev, next, prio } => {
+                TraceEvent::SchedSwitch { prev, next, prio }
+            }
             OwnedEvent::SchedWakeup { tid, cpu } => TraceEvent::SchedWakeup { tid, cpu },
             OwnedEvent::SchedMigrate { tid, from_cpu, to_cpu } => {
                 TraceEvent::SchedMigrate { tid, from_cpu, to_cpu }
@@ -313,8 +317,12 @@ impl OwnedEvent {
             OwnedEvent::FreqChange { cpu, khz } => TraceEvent::FreqChange { cpu, khz },
             OwnedEvent::IdleEnter { cpu, state } => TraceEvent::IdleEnter { cpu, state },
             OwnedEvent::IdleExit { cpu } => TraceEvent::IdleExit { cpu },
-            OwnedEvent::ThermalThrottle { zone, mdeg } => TraceEvent::ThermalThrottle { zone, mdeg },
-            OwnedEvent::EnergyEstimate { cluster, mw } => TraceEvent::EnergyEstimate { cluster, mw },
+            OwnedEvent::ThermalThrottle { zone, mdeg } => {
+                TraceEvent::ThermalThrottle { zone, mdeg }
+            }
+            OwnedEvent::EnergyEstimate { cluster, mw } => {
+                TraceEvent::EnergyEstimate { cluster, mw }
+            }
             OwnedEvent::Counter { ref name, value } => TraceEvent::Counter { name, value },
             OwnedEvent::Begin { ref msg } => TraceEvent::Begin { msg },
             OwnedEvent::End => TraceEvent::End,
@@ -467,7 +475,10 @@ mod tests {
             roundtrip(TraceEvent::SchedMigrate { tid: 7, from_cpu: 1, to_cpu: 10 }),
             OwnedEvent::SchedMigrate { tid: 7, from_cpu: 1, to_cpu: 10 }
         );
-        assert_eq!(roundtrip(TraceEvent::Irq { irq: 300, enter: true }), OwnedEvent::Irq { irq: 300, enter: true });
+        assert_eq!(
+            roundtrip(TraceEvent::Irq { irq: 300, enter: true }),
+            OwnedEvent::Irq { irq: 300, enter: true }
+        );
         assert_eq!(
             roundtrip(TraceEvent::BinderTxn { from: 1, to: 2, code: 0xABCD }),
             OwnedEvent::BinderTxn { from: 1, to: 2, code: 0xABCD }
@@ -493,16 +504,25 @@ mod tests {
             roundtrip(TraceEvent::Counter { name: "gpu_busy", value: -42 }),
             OwnedEvent::Counter { name: "gpu_busy".into(), value: -42 }
         );
-        assert_eq!(roundtrip(TraceEvent::Begin { msg: "doFrame" }), OwnedEvent::Begin { msg: "doFrame".into() });
+        assert_eq!(
+            roundtrip(TraceEvent::Begin { msg: "doFrame" }),
+            OwnedEvent::Begin { msg: "doFrame".into() }
+        );
         assert_eq!(roundtrip(TraceEvent::End), OwnedEvent::End);
     }
 
     #[test]
     fn categories_are_sensible() {
         use crate::Category;
-        assert_eq!(TraceEvent::SchedSwitch { prev: 0, next: 0, prio: 0 }.category(), Category::SCHED);
+        assert_eq!(
+            TraceEvent::SchedSwitch { prev: 0, next: 0, prio: 0 }.category(),
+            Category::SCHED
+        );
         assert_eq!(TraceEvent::FreqChange { cpu: 0, khz: 0 }.category(), Category::FREQ);
-        assert_eq!(TraceEvent::BinderTxn { from: 0, to: 0, code: 0 }.category(), Category::BINDER_DRIVER);
+        assert_eq!(
+            TraceEvent::BinderTxn { from: 0, to: 0, code: 0 }.category(),
+            Category::BINDER_DRIVER
+        );
     }
 
     #[test]
@@ -510,7 +530,9 @@ mod tests {
         let long = "x".repeat(500);
         let decoded = roundtrip(TraceEvent::Begin { msg: &long });
         match decoded {
-            OwnedEvent::Begin { msg } => assert!(msg.len() <= MAX_STRING && msg.chars().all(|c| c == 'x')),
+            OwnedEvent::Begin { msg } => {
+                assert!(msg.len() <= MAX_STRING && msg.chars().all(|c| c == 'x'))
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -155,7 +155,11 @@ mod tests {
 
     fn session(categories: Category) -> Atrace<BTrace> {
         let sink = BTrace::new(
-            Config::new(2).active_blocks(8).block_bytes(512).buffer_bytes(512 * 16).backing(btrace_core::Backing::Heap),
+            Config::new(2)
+                .active_blocks(8)
+                .block_bytes(512)
+                .buffer_bytes(512 * 16)
+                .backing(btrace_core::Backing::Heap),
         )
         .expect("valid configuration");
         Atrace::new(sink, categories)

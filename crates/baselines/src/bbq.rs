@@ -141,9 +141,16 @@ impl Bbq {
         let mut remaining = len;
         while remaining > 0 {
             let chunk = remaining.min(u16::MAX as u32 & !7);
-            let chunk = if remaining - chunk != 0 && remaining - chunk < 8 { chunk - 8 } else { chunk };
-            let header =
-                EntryHeader { len: chunk as u16, kind: EntryKind::Dummy, pad: 0, core: 0, tid: 0, stamp: 0 };
+            let chunk =
+                if remaining - chunk != 0 && remaining - chunk < 8 { chunk - 8 } else { chunk };
+            let header = EntryHeader {
+                len: chunk as u16,
+                kind: EntryKind::Dummy,
+                pad: 0,
+                core: 0,
+                tid: 0,
+                stamp: 0,
+            };
             let words = header.encode();
             let take = if chunk >= HEADER_BYTES as u32 { 2 } else { 1 };
             self.inner.blocks[idx].buf.store_words(off as usize, &words[..take]);
@@ -184,7 +191,12 @@ impl Bbq {
         }
         if block
             .confirmed
-            .compare_exchange(pack(prev_rnd, cap), pack(next as u32, 0), Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(
+                pack(prev_rnd, cap),
+                pack(next as u32, 0),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
             .is_err()
         {
             return; // lost the race; the winner resets and publishes
@@ -242,7 +254,9 @@ impl Drop for BbqGrant {
     fn drop(&mut self) {
         if !self.committed {
             self.queue.fill_dummy(self.idx, self.offset, self.len);
-            self.queue.inner.blocks[self.idx].confirmed.fetch_add(self.len as u64, Ordering::AcqRel);
+            self.queue.inner.blocks[self.idx]
+                .confirmed
+                .fetch_add(self.len as u64, Ordering::AcqRel);
         }
     }
 }
@@ -425,7 +439,10 @@ mod tests {
     fn records_from_all_cores_share_one_buffer() {
         let q = Bbq::new(4096, 256);
         for core in 0..8 {
-            assert_eq!(q.record(core, core as u32, core as u64, b"shared"), RecordOutcome::Recorded);
+            assert_eq!(
+                q.record(core, core as u32, core as u64, b"shared"),
+                RecordOutcome::Recorded
+            );
         }
         let out = q.drain();
         assert_eq!(out.len(), 8);

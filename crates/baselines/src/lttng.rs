@@ -143,7 +143,12 @@ impl PerCoreDropNewest {
                 // Fully committed: recycle it for round `next`.
                 if nsub
                     .confirmed
-                    .compare_exchange(conf, pack(next as u32, 0), Ordering::AcqRel, Ordering::Acquire)
+                    .compare_exchange(
+                        conf,
+                        pack(next as u32, 0),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
                     .is_ok()
                 {
                     let mut cur = nsub.allocated.load(Ordering::Acquire);
@@ -158,7 +163,8 @@ impl PerCoreDropNewest {
                             Err(actual) => cur = actual,
                         }
                     }
-                    let _ = ring.seq.compare_exchange(seq, next, Ordering::AcqRel, Ordering::Acquire);
+                    let _ =
+                        ring.seq.compare_exchange(seq, next, Ordering::AcqRel, Ordering::Acquire);
                 }
                 continue;
             }
@@ -209,8 +215,14 @@ impl Drop for LttngGrant {
     fn drop(&mut self) {
         if !self.committed {
             let sub = &self.tracer.inner.cores[self.core].subs[self.idx];
-            let header =
-                EntryHeader { len: self.len as u16, kind: EntryKind::Dummy, pad: 0, core: 0, tid: 0, stamp: 0 };
+            let header = EntryHeader {
+                len: self.len as u16,
+                kind: EntryKind::Dummy,
+                pad: 0,
+                core: 0,
+                tid: 0,
+                stamp: 0,
+            };
             sub.buf.store_words(self.offset as usize, &header.encode());
             sub.confirmed.fetch_add(self.len as u64, Ordering::AcqRel);
         }
@@ -404,7 +416,7 @@ mod tests {
     #[test]
     fn pinned_subbuffer_drops_newest() {
         let t = PerCoreDropNewest::new(1, 1024, 2); // two 512 B subs
-        // Preempted writer holds a reservation in the active sub-buffer.
+                                                    // Preempted writer holds a reservation in the active sub-buffer.
         let held = match t.try_begin(0, 1, 8) {
             Begin::Granted(g) => g,
             Begin::Dropped => panic!("first reservation must succeed"),

@@ -96,7 +96,8 @@ impl OverwriteRing {
             let mut words = [0u64; 2];
             let take = if self.cap - at >= HEADER_BYTES { 2 } else { 1 };
             self.buf.load_words(at, &mut words[..take]);
-            let header = EntryHeader::decode(words).expect("ring corrupted: undecodable entry at tail");
+            let header =
+                EntryHeader::decode(words).expect("ring corrupted: undecodable entry at tail");
             if header.kind == EntryKind::Data {
                 self.overwritten += 1;
             }

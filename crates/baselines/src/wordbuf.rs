@@ -52,7 +52,8 @@ impl WordBuf {
         let mut chunks = bytes.chunks_exact(8);
         let mut idx = byte_off / 8;
         for chunk in chunks.by_ref() {
-            self.words[idx].store(u64::from_le_bytes(chunk.try_into().expect("8 bytes")), Ordering::Relaxed);
+            self.words[idx]
+                .store(u64::from_le_bytes(chunk.try_into().expect("8 bytes")), Ordering::Relaxed);
             idx += 1;
         }
         let rest = chunks.remainder();

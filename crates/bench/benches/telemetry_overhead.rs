@@ -1,0 +1,37 @@
+//! Criterion micro-benchmark of the telemetry layer's cost on the record
+//! fast path.
+//!
+//! Feature unification means one binary cannot compile telemetry both in
+//! and out, so the "disabled" baseline is the runtime toggle
+//! (`set_record_timing(None)`), which leaves exactly one relaxed load on
+//! the fast path — the closest observable proxy for the compiled-out
+//! build. The acceptance budget: default sampled timing (1-in-64) within
+//! 5% of timing-off.
+
+use btrace_bench::harness::btrace;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const PAYLOAD: &[u8] = b"sched: prev=1234 next=5678 flag";
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_telemetry");
+    group.throughput(Throughput::Elements(1));
+    for (label, every) in
+        [("timing_off", None), ("sampled_1_in_64", Some(64u32)), ("every_record", Some(1))]
+    {
+        let tracer = btrace();
+        tracer.set_record_timing(every);
+        let producer = tracer.producer(0).expect("core 0 exists");
+        let mut stamp = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                stamp += 1;
+                producer.record_with(stamp, 1, PAYLOAD)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

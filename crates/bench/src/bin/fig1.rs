@@ -24,7 +24,8 @@ fn main() {
             // N = the number of events that would fit the buffer if stored
             // contiguously: written_bytes/written gives the mean entry size.
             let mean_entry = (outcome.report.written_bytes / outcome.report.written.max(1)).max(1);
-            let window = (outcome.report.capacity_bytes as u64 / mean_entry).min(outcome.report.written);
+            let window =
+                (outcome.report.capacity_bytes as u64 / mean_entry).min(outcome.report.written);
             let map = gap_map(
                 &outcome.report.retained_stamps(),
                 outcome.report.written.saturating_sub(1),

@@ -16,7 +16,8 @@ fn main() {
     // (a) eShop-2 workload.
     let eshop = scenarios::by_name("eShop-2").expect("scenario exists");
     let mut per_tracer: Vec<(&'static str, Vec<u64>)> = Vec::new();
-    let mut overall: Vec<(&'static str, Vec<u64>)> = TRACERS.iter().map(|&t| (t, Vec::new())).collect();
+    let mut overall: Vec<(&'static str, Vec<u64>)> =
+        TRACERS.iter().map(|&t| (t, Vec::new())).collect();
 
     for (ti, &tracer) in TRACERS.iter().enumerate() {
         let outcome = run_tracer(tracer, eshop, &config);

@@ -10,7 +10,8 @@ use btrace_analysis::Table;
 use btrace_replay::model::{level_rate_mb_per_core_min, TraceLevel, CATEGORIES};
 
 fn main() {
-    let mut table = Table::new(vec!["Category".into(), "MB/core/min".into(), "Level".into(), "Bar".into()]);
+    let mut table =
+        Table::new(vec!["Category".into(), "MB/core/min".into(), "Level".into(), "Bar".into()]);
     let mut sorted = CATEGORIES.to_vec();
     sorted.sort_by(|a, b| b.mb_per_core_min.total_cmp(&a.mb_per_core_min));
     let max = sorted.first().map(|c| c.mb_per_core_min).unwrap_or(1.0);

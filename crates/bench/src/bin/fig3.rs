@@ -59,7 +59,8 @@ fn main() {
             let outcome = run_tracer(tracer, scenario, &config);
             // Bytes the workload produces per virtual second (all cores).
             let per_vsec = outcome.report.written_bytes as f64 / window_sec;
-            let retained_sec = (outcome.metrics.latest_fragment_bytes as f64 / per_vsec).min(window_sec);
+            let retained_sec =
+                (outcome.metrics.latest_fragment_bytes as f64 / per_vsec).min(window_sec);
             table.row(vec![
                 format!("{}", level as u8),
                 outcome.tracer.to_string(),

@@ -28,9 +28,11 @@ fn main() {
 
         let report = Replayer::new(scenario, config.clone()).run(&btrace());
         let mut cells = vec![name.to_string()];
-        cells.extend(report.written_per_core.iter().map(|&w| {
-            format!("{:.1}", w as f64 / (TRACE_SECONDS as f64 * config.scale) / 1000.0)
-        }));
+        cells.extend(
+            report.written_per_core.iter().map(|&w| {
+                format!("{:.1}", w as f64 / (TRACE_SECONDS as f64 * config.scale) / 1000.0)
+            }),
+        );
         measured_table.row(cells);
     }
     println!("Modelled rates (k entries/sec/core; cores 0-3 little, 4-9 middle, 10-11 big):\n");

@@ -76,7 +76,10 @@ fn main() {
         metrics.latest_fragment_events,
         metrics.effectivity_ratio * 100.0
     );
-    println!("fragments: {} (the interior holes are the 'indistinguishable gaps')", metrics.fragments);
+    println!(
+        "fragments: {} (the interior holes are the 'indistinguishable gaps')",
+        metrics.fragments
+    );
 
     // The same arrivals into one global buffer (what BTrace's partitioning
     // approximates at block granularity): the newest 16 survive intact.

@@ -37,14 +37,26 @@ fn main() {
     header.push("G.M.".to_string());
 
     let mut table = Table::new(header);
-    section(&mut table, "Latest (MB)", &outcomes, |o| o.metrics.latest_fragment_bytes as f64 / (1 << 20) as f64, 2);
+    section(
+        &mut table,
+        "Latest (MB)",
+        &outcomes,
+        |o| o.metrics.latest_fragment_bytes as f64 / (1 << 20) as f64,
+        2,
+    );
     section(&mut table, "Loss rate", &outcomes, |o| o.metrics.loss_rate, 2);
     section(&mut table, "# Fragments", &outcomes, |o| o.metrics.fragments as f64, 0);
     section(&mut table, "Latency (ns)", &outcomes, |o| o.latency.geomean_ns, 0);
     println!("{}", table.render());
 }
 
-fn section(table: &mut Table, metric: &str, outcomes: &[Vec<Outcome>], f: impl Fn(&Outcome) -> f64, prec: usize) {
+fn section(
+    table: &mut Table,
+    metric: &str,
+    outcomes: &[Vec<Outcome>],
+    f: impl Fn(&Outcome) -> f64,
+    prec: usize,
+) {
     table.row(vec![format!("-- {metric} --")]);
     for row in outcomes {
         let values: Vec<f64> = row.iter().map(&f).collect();

@@ -24,8 +24,10 @@ pub fn btrace_with_active(active: usize) -> BTrace {
     let stride = BLOCK_BYTES * active;
     // Round the 12 MB budget to the resize stride.
     let buffer = (TOTAL_BYTES / stride).max(1) * stride;
-    BTrace::new(Config::new(CORES).active_blocks(active).block_bytes(BLOCK_BYTES).buffer_bytes(buffer))
-        .expect("evaluation configuration is valid")
+    BTrace::new(
+        Config::new(CORES).active_blocks(active).block_bytes(BLOCK_BYTES).buffer_bytes(buffer),
+    )
+    .expect("evaluation configuration is valid")
 }
 
 /// The default BTrace (sweet spot `A = 16 × C`, §5.1).
@@ -80,11 +82,8 @@ pub fn static_name(name: &str) -> &'static str {
 /// all figure binaries. Unknown arguments are ignored so binaries can layer
 /// their own.
 pub fn config_from_args(default_scale: f64) -> ReplayConfig {
-    let mut config = ReplayConfig {
-        scale: default_scale,
-        latency_sample_every: 64,
-        ..ReplayConfig::table2()
-    };
+    let mut config =
+        ReplayConfig { scale: default_scale, latency_sample_every: 64, ..ReplayConfig::table2() };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -148,7 +147,12 @@ mod tests {
     #[test]
     fn run_tracer_produces_outcomes_for_all_five() {
         let scenario = scenarios::by_name("Music").unwrap();
-        let config = ReplayConfig { scale: 0.002, slices: 4, latency_sample_every: 32, ..ReplayConfig::table2() };
+        let config = ReplayConfig {
+            scale: 0.002,
+            slices: 4,
+            latency_sample_every: 32,
+            ..ReplayConfig::table2()
+        };
         for name in TRACERS {
             let outcome = run_tracer(name, scenario, &config);
             assert_eq!(outcome.tracer, static_name(name));

@@ -20,6 +20,16 @@ COMMANDS:
         --scale <F>                fraction of the 30 s workload (default 0.05)
     inspect <FILE>                 analyze a dump file
         --map                      also print the retention gap map
+    stat                           run a synthetic load, print a health snapshot
+        --json                     emit the snapshot as one JSON line
+        --duration-ms <N>          workload length (default 1000)
+        --jsonl <FILE>             also append periodic snapshots to a JSONL file
+        --prom <FILE>              also maintain a Prometheus textfile
+    watch                          live health table while a synthetic load runs
+        --period-ms <N>            sampling period (default 500)
+        --duration-ms <N>          workload length (default 5000)
+        --jsonl <FILE>             also append periodic snapshots to a JSONL file
+        --prom <FILE>              also maintain a Prometheus textfile
     help                           show this text
 ";
 
@@ -55,6 +65,28 @@ pub enum Command {
         /// Whether to print the gap map.
         map: bool,
     },
+    /// One-shot health snapshot of a synthetic workload.
+    Stat {
+        /// Emit JSON instead of a table.
+        json: bool,
+        /// Workload length in milliseconds.
+        duration_ms: u64,
+        /// Optional JSONL export path.
+        jsonl: Option<String>,
+        /// Optional Prometheus textfile path.
+        prom: Option<String>,
+    },
+    /// Live health table of a synthetic workload.
+    Watch {
+        /// Sampling period in milliseconds.
+        period_ms: u64,
+        /// Workload length in milliseconds.
+        duration_ms: u64,
+        /// Optional JSONL export path.
+        jsonl: Option<String>,
+        /// Optional Prometheus textfile path.
+        prom: Option<String>,
+    },
     /// Show usage.
     Help,
 }
@@ -89,7 +121,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             for arg in it {
                 match arg.as_str() {
                     "--map" => map = true,
-                    other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown option {other}"))
+                    }
                     other => {
                         if file.replace(other.to_string()).is_some() {
                             return Err("inspect takes exactly one file".into());
@@ -100,7 +134,71 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let file = file.ok_or("inspect requires a file argument")?;
             Ok(Command::Inspect { file, map })
         }
+        "stat" => {
+            let (flags, opts) = flags_and_options(
+                it.as_slice(),
+                &["--json"],
+                &["--duration-ms", "--jsonl", "--prom"],
+            )?;
+            Ok(Command::Stat {
+                json: flags.contains(&"--json".to_string()),
+                duration_ms: parse_ms(opts.get("--duration-ms"), 1000)?,
+                jsonl: opts.get("--jsonl").cloned(),
+                prom: opts.get("--prom").cloned(),
+            })
+        }
+        "watch" => {
+            let (_, opts) = flags_and_options(
+                it.as_slice(),
+                &[],
+                &["--period-ms", "--duration-ms", "--jsonl", "--prom"],
+            )?;
+            Ok(Command::Watch {
+                period_ms: parse_ms(opts.get("--period-ms"), 500)?,
+                duration_ms: parse_ms(opts.get("--duration-ms"), 5000)?,
+                jsonl: opts.get("--jsonl").cloned(),
+                prom: opts.get("--prom").cloned(),
+            })
+        }
         other => Err(format!("unknown command {other}")),
+    }
+}
+
+/// Like [`options`], but also accepts valueless boolean flags.
+fn flags_and_options(
+    rest: &[String],
+    flags: &[&str],
+    allowed: &[&str],
+) -> Result<(Vec<String>, std::collections::HashMap<String, String>), String> {
+    let mut seen_flags = Vec::new();
+    let mut out = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = &rest[i];
+        if flags.contains(&key.as_str()) {
+            seen_flags.push(key.clone());
+            i += 1;
+        } else if allowed.contains(&key.as_str()) {
+            let value = rest.get(i + 1).ok_or_else(|| format!("{key} requires a value"))?;
+            out.insert(key.clone(), value.clone());
+            i += 2;
+        } else {
+            return Err(format!("unknown option {key}"));
+        }
+    }
+    Ok((seen_flags, out))
+}
+
+fn parse_ms(value: Option<&String>, default: u64) -> Result<u64, String> {
+    match value {
+        None => Ok(default),
+        Some(v) => {
+            let ms: u64 = v.parse().map_err(|_| format!("invalid millisecond value {v}"))?;
+            if ms == 0 {
+                return Err("millisecond value must be positive".into());
+            }
+            Ok(ms)
+        }
     }
 }
 
@@ -173,6 +271,35 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_stat_and_watch() {
+        assert_eq!(
+            parse(&argv("stat --json --duration-ms 250 --jsonl h.jsonl")),
+            Ok(Command::Stat {
+                json: true,
+                duration_ms: 250,
+                jsonl: Some("h.jsonl".into()),
+                prom: None
+            })
+        );
+        assert_eq!(
+            parse(&argv("stat")),
+            Ok(Command::Stat { json: false, duration_ms: 1000, jsonl: None, prom: None })
+        );
+        assert_eq!(
+            parse(&argv("watch --period-ms 100 --prom out.prom")),
+            Ok(Command::Watch {
+                period_ms: 100,
+                duration_ms: 5000,
+                jsonl: None,
+                prom: Some("out.prom".into())
+            })
+        );
+        assert!(parse(&argv("stat --duration-ms 0")).is_err());
+        assert!(parse(&argv("watch --json")).is_err());
+        assert!(parse(&argv("stat --period-ms 100")).is_err());
     }
 
     #[test]

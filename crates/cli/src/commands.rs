@@ -4,9 +4,12 @@ use btrace_analysis::{analyze, by_core, by_thread, core_skew, gap_map, GapMapOpt
 use btrace_baselines::{Bbq, PerCoreDropNewest, PerCoreOverwrite, PerThread};
 use btrace_core::sink::CollectedEvent;
 use btrace_core::{BTrace, Config};
-use btrace_persist::TraceDump;
+use btrace_persist::{JsonlExporter, PrometheusExporter, TraceDump};
 use btrace_replay::{scenarios, ReplayConfig, ReplayReport, Replayer};
+use btrace_telemetry::{Exporter, HealthSnapshot, Sampler, SamplerConfig};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 const CORES: usize = 12;
 const TOTAL: usize = 12 << 20;
@@ -51,7 +54,11 @@ pub fn demo() -> i32 {
             scope.spawn(move || {
                 for i in 0..50_000u64 {
                     producer
-                        .record_with(core as u64 * 1_000_000 + i, i as u32 % 17, b"demo: synthetic event")
+                        .record_with(
+                            core as u64 * 1_000_000 + i,
+                            i as u32 % 17,
+                            b"demo: synthetic event",
+                        )
                         .expect("payload fits");
                 }
             });
@@ -92,10 +99,9 @@ fn run(scenario_name: &str, tracer_name: &str, scale: f64) -> Result<ReplayRepor
         "BBQ" => replayer.run(&Bbq::new(TOTAL, BLOCK)),
         "ftrace" => replayer.run(&PerCoreOverwrite::new(CORES, TOTAL)),
         "LTTng" => replayer.run(&PerCoreDropNewest::new(CORES, TOTAL, 4)),
-        "VTrace" => replayer.run(&PerThread::new(
-            TOTAL,
-            scenario.total_threads_per_core as usize * CORES,
-        )),
+        "VTrace" => {
+            replayer.run(&PerThread::new(TOTAL, scenario.total_threads_per_core as usize * CORES))
+        }
         other => return Err(format!("unknown tracer {other} (BTrace|BBQ|ftrace|LTTng|VTrace)")),
     };
     Ok(report)
@@ -120,7 +126,8 @@ fn print_report_analysis(events: &[CollectedEvent], capacity: usize, written: Op
         println!("core skew           {skew:.1}x");
     }
     println!("\nper-core breakdown:");
-    let mut table = Table::new(vec!["Core".into(), "Events".into(), "KiB".into(), "Stamp range".into()]);
+    let mut table =
+        Table::new(vec!["Core".into(), "Events".into(), "KiB".into(), "Stamp range".into()]);
     for c in by_core(events) {
         table.row(vec![
             format!("C{}", c.key),
@@ -184,6 +191,224 @@ pub fn dump(scenario: &str, out: &str, scale: f64) -> i32 {
             1
         }
     }
+}
+
+/// Builds the file exporters requested on the command line.
+fn file_exporters(
+    jsonl: Option<&str>,
+    prom: Option<&str>,
+) -> Result<Vec<Box<dyn Exporter>>, String> {
+    let mut exporters: Vec<Box<dyn Exporter>> = Vec::new();
+    if let Some(path) = jsonl {
+        exporters
+            .push(Box::new(JsonlExporter::create(path).map_err(|e| format!("open {path}: {e}"))?));
+    }
+    if let Some(path) = prom {
+        exporters.push(Box::new(PrometheusExporter::new(path)));
+    }
+    Ok(exporters)
+}
+
+/// Runs a 4-core synthetic load against `tracer` for `duration_ms`,
+/// draining periodically so the consumer path shows up in the snapshot.
+fn run_synthetic_load(tracer: &BTrace, duration_ms: u64) {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for core in 0..tracer.cores() {
+            let producer = tracer.producer(core).expect("core in range");
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    producer
+                        .record_with(
+                            core as u64 * 1_000_000_000 + i,
+                            i as u32 % 17,
+                            b"stat: synthetic event",
+                        )
+                        .expect("payload fits");
+                    i += 1;
+                    if i.is_multiple_of(4096) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        let mut consumer = tracer.consumer();
+        let deadline = std::time::Instant::now() + Duration::from_millis(duration_ms);
+        while std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(50.min(duration_ms / 4 + 1)));
+            let _ = consumer.collect();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
+fn telemetry_tracer() -> Result<BTrace, String> {
+    BTrace::new(Config::new(4).active_blocks(64).block_bytes(BLOCK).buffer_bytes(4 << 20))
+        .map_err(|e| e.to_string())
+}
+
+fn print_health_table(snap: &HealthSnapshot) {
+    println!(
+        "buffer: {} blocks x {} B ({:.1} MiB), {} active (bound 1-A/N = {:.3})",
+        snap.capacity_blocks,
+        snap.block_bytes,
+        snap.capacity_bytes as f64 / (1 << 20) as f64,
+        snap.active_blocks,
+        snap.effectivity_bound
+    );
+    println!(
+        "counters: {} records, {} advances, {} closes, {} skips, {} repairs, {} resizes",
+        snap.records, snap.advances, snap.closes, snap.skips, snap.straggler_repairs, snap.resizes
+    );
+    println!(
+        "effectivity: {:.4} observed vs {:.4} bound; skip rate {:.4}; occupancy {:.2}; {} open blocks",
+        snap.effectivity_observed, snap.effectivity_bound, snap.skip_rate, snap.mean_occupancy, snap.open_blocks
+    );
+    if snap.rates.window_secs > 0.0 {
+        println!(
+            "rates ({:.2}s window): {:.0} records/s, {:.2} MiB/s, {:.1} advances/s",
+            snap.rates.window_secs,
+            snap.rates.records_per_sec,
+            snap.rates.bytes_per_sec / (1 << 20) as f64,
+            snap.rates.advances_per_sec
+        );
+    }
+    let mut table = Table::new(vec![
+        "Path".into(),
+        "Samples".into(),
+        "Mean ns".into(),
+        "p50".into(),
+        "p90".into(),
+        "p99".into(),
+        "p999".into(),
+        "Max".into(),
+    ]);
+    for (name, l) in [
+        ("record (sampled)", &snap.record_latency),
+        ("advance", &snap.advance_latency),
+        ("drain", &snap.drain_latency),
+    ] {
+        table.row(vec![
+            name.into(),
+            l.count.to_string(),
+            format!("{:.0}", l.mean_ns),
+            l.p50.to_string(),
+            l.p90.to_string(),
+            l.p99.to_string(),
+            l.p999.to_string(),
+            l.max.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    let mut table = Table::new(vec!["Core".into(), "Records".into(), "KiB".into()]);
+    for core in &snap.per_core {
+        table.row(vec![
+            format!("C{}", core.core),
+            core.records.to_string(),
+            (core.recorded_bytes / 1024).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// `btrace stat`
+pub fn stat(json: bool, duration_ms: u64, jsonl: Option<&str>, prom: Option<&str>) -> i32 {
+    let tracer = match telemetry_tracer() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let exporters = match file_exporters(jsonl, prom) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let mut sampler = Sampler::spawn(
+        tracer.clone(),
+        exporters,
+        SamplerConfig { period: Duration::from_millis((duration_ms / 4).clamp(50, 1000)) },
+    );
+    run_synthetic_load(&tracer, duration_ms);
+    sampler.stop();
+    // The final report reflects the finished workload; rate/sequence
+    // context comes from the sampler's last periodic snapshot.
+    let mut snap = tracer.health_snapshot();
+    if let Some(last) = sampler.latest() {
+        snap.seq = last.seq;
+        snap.unix_ms = last.unix_ms;
+        snap.rates = last.rates;
+    }
+    if json {
+        println!("{}", snap.to_json());
+    } else {
+        print_health_table(&snap);
+    }
+    0
+}
+
+/// Prints one table row per sampled snapshot.
+struct WatchExporter;
+
+impl Exporter for WatchExporter {
+    fn export(&mut self, s: &HealthSnapshot) -> std::io::Result<()> {
+        println!(
+            "{:>4} {:>12} {:>12.0} {:>9.2} {:>9} {:>6} {:>8.4} {:>8.4} {:>6} {:>6} {:>7}",
+            s.seq,
+            s.records,
+            s.rates.records_per_sec,
+            s.rates.bytes_per_sec / (1 << 20) as f64,
+            s.advances,
+            s.skips,
+            s.effectivity_observed,
+            s.mean_occupancy,
+            s.record_latency.p50,
+            s.record_latency.p99,
+            s.record_latency.p999,
+        );
+        Ok(())
+    }
+}
+
+/// `btrace watch`
+pub fn watch(period_ms: u64, duration_ms: u64, jsonl: Option<&str>, prom: Option<&str>) -> i32 {
+    let tracer = match telemetry_tracer() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let mut exporters = match file_exporters(jsonl, prom) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "{:>4} {:>12} {:>12} {:>9} {:>9} {:>6} {:>8} {:>8} {:>6} {:>6} {:>7}",
+        "seq", "records", "rec/s", "MiB/s", "advances", "skips", "eff", "occ", "p50", "p99", "p999"
+    );
+    exporters.push(Box::new(WatchExporter));
+    let mut sampler = Sampler::spawn(
+        tracer.clone(),
+        exporters,
+        SamplerConfig { period: Duration::from_millis(period_ms) },
+    );
+    run_synthetic_load(&tracer, duration_ms);
+    sampler.stop();
+    let errors = sampler.export_errors();
+    if errors > 0 {
+        eprintln!("warning: {errors} export errors");
+        return 1;
+    }
+    0
 }
 
 /// `btrace inspect`

@@ -18,9 +18,17 @@ fn main() {
     let code = match args::parse(&args) {
         Ok(Command::Scenarios) => commands::scenarios(),
         Ok(Command::Demo) => commands::demo(),
-        Ok(Command::Replay { scenario, tracer, scale }) => commands::replay(&scenario, &tracer, scale),
+        Ok(Command::Replay { scenario, tracer, scale }) => {
+            commands::replay(&scenario, &tracer, scale)
+        }
         Ok(Command::Dump { scenario, out, scale }) => commands::dump(&scenario, &out, scale),
         Ok(Command::Inspect { file, map }) => commands::inspect(&file, map),
+        Ok(Command::Stat { json, duration_ms, jsonl, prom }) => {
+            commands::stat(json, duration_ms, jsonl.as_deref(), prom.as_deref())
+        }
+        Ok(Command::Watch { period_ms, duration_ms, jsonl, prom }) => {
+            commands::watch(period_ms, duration_ms, jsonl.as_deref(), prom.as_deref())
+        }
         Ok(Command::Help) => {
             print!("{}", args::USAGE);
             0

@@ -33,6 +33,8 @@ pub(crate) struct Shared {
     pub(crate) history: RatioHistory,
     stamp_clock: CachePadded<AtomicU64>,
     pub(crate) counters: Counters,
+    #[cfg(feature = "telemetry")]
+    pub(crate) telem: crate::telem::Telemetry,
     pub(crate) domain: btrace_smr::Domain,
     pub(crate) resize_lock: Mutex<()>,
 }
@@ -71,7 +73,8 @@ impl Shared {
             let chunk = remaining.min(MAX_DUMMY);
             // A chunk that would leave a sub-minimum remainder shrinks so the
             // tail stays encodable (every entry is >= 8 bytes).
-            let chunk = if remaining - chunk != 0 && remaining - chunk < 8 { chunk - 8 } else { chunk };
+            let chunk =
+                if remaining - chunk != 0 && remaining - chunk < 8 { chunk - 8 } else { chunk };
             let header = EntryHeader {
                 len: chunk as u16,
                 kind: EntryKind::Dummy,
@@ -168,6 +171,14 @@ impl Shared {
     /// Returns when the core-local pointer no longer equals `expected`
     /// (whether this thread or a concurrent one advanced it).
     pub(crate) fn advance(&self, core: usize, expected: RatioPos) {
+        #[cfg(feature = "telemetry")]
+        let t0 = std::time::Instant::now();
+        self.advance_inner(core, expected);
+        #[cfg(feature = "telemetry")]
+        self.telem.advance_hist.record(t0.elapsed().as_nanos() as u64);
+    }
+
+    fn advance_inner(&self, core: usize, expected: RatioPos) {
         self.counters.bump(&self.counters.advances);
         let cap = self.cap();
         loop {
@@ -326,18 +337,23 @@ impl BTrace {
         data.region().commit(0, extent)?;
 
         let cap = cfg.block_bytes as u32;
-        let metas: Box<[MetaBlock]> = (0..cfg.active_blocks).map(|_| MetaBlock::genesis(cap)).collect();
+        let metas: Box<[MetaBlock]> =
+            (0..cfg.active_blocks).map(|_| MetaBlock::genesis(cap)).collect();
         let a = cfg.active_blocks as u64;
 
         let shared = Shared {
             core_local: (0..cfg.cores).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
-            global: CachePadded::new(AtomicU64::new(RatioPos::new(cfg.ratio, a + cfg.cores as u64).to_raw())),
+            global: CachePadded::new(AtomicU64::new(
+                RatioPos::new(cfg.ratio, a + cfg.cores as u64).to_raw(),
+            )),
             capacity_blocks: AtomicU64::new(cfg.data_blocks() as u64),
             resize_floor: AtomicU64::new(0),
             committed_extent: AtomicUsize::new(extent),
             history: RatioHistory::new(cfg.ratio),
             stamp_clock: CachePadded::new(AtomicU64::new(0)),
             counters: Counters::new(cfg.cores),
+            #[cfg(feature = "telemetry")]
+            telem: crate::telem::Telemetry::new(cfg.cores),
             domain: btrace_smr::Domain::new(),
             resize_lock: Mutex::new(()),
             cfg,
@@ -392,6 +408,28 @@ impl BTrace {
         self.shared.counters.snapshot()
     }
 
+    /// Full health report: counters, buffer gauges, per-core breakdowns,
+    /// latency summaries, and the observed effectivity ratio next to the
+    /// paper's `1 − A/N` bound.
+    ///
+    /// Raw snapshots carry no sequence number, timestamp, or rates; those
+    /// are filled in by a [`btrace_telemetry::Sampler`] (`BTrace`
+    /// implements [`btrace_telemetry::SnapshotSource`]).
+    #[cfg(feature = "telemetry")]
+    pub fn health_snapshot(&self) -> btrace_telemetry::HealthSnapshot {
+        crate::telem::health_snapshot(&self.shared)
+    }
+
+    /// Tunes fast-path record timing: `Some(n)` times roughly 1 in `n`
+    /// records (`n` rounded up to a power of two; default 64), `None`
+    /// disables timing so the fast path pays only one relaxed load.
+    /// Advance and drain timing are unaffected (those paths are rare and
+    /// always timed).
+    #[cfg(feature = "telemetry")]
+    pub fn set_record_timing(&self, every: Option<u32>) {
+        self.shared.telem.set_sample_every(every);
+    }
+
     /// Current buffer capacity in bytes (`N × block_bytes`).
     pub fn capacity_bytes(&self) -> usize {
         self.capacity_blocks() * self.shared.cfg.block_bytes
@@ -430,6 +468,13 @@ impl BTrace {
     /// clock off the hot path.
     pub fn next_stamp(&self) -> u64 {
         self.shared.next_stamp()
+    }
+}
+
+#[cfg(feature = "telemetry")]
+impl btrace_telemetry::SnapshotSource for BTrace {
+    fn health_snapshot(&self) -> btrace_telemetry::HealthSnapshot {
+        BTrace::health_snapshot(self)
     }
 }
 
@@ -509,7 +554,8 @@ mod tests {
         // Fill the whole usable block with dummies via close.
         let local = t.shared.core_local(0);
         let map = map_gpos(local.pos, t.shared.active(), local.ratio);
-        if let Close::Fill { pos, .. } = t.shared.metas[map.meta_idx].close(map.rnd, t.shared.cap()) {
+        if let Close::Fill { pos, .. } = t.shared.metas[map.meta_idx].close(map.rnd, t.shared.cap())
+        {
             t.shared.write_dummy_run(map.data_idx, pos, t.shared.cap() - pos);
             t.shared.metas[map.meta_idx].confirm(t.shared.cap() - pos);
         } else {

@@ -129,7 +129,10 @@ impl Config {
         }
         // A data block must fit its block header plus at least one minimal entry.
         if self.block_bytes < 2 * HEADER_BYTES + ENTRY_ALIGN {
-            return err(format!("block_bytes {} cannot hold a block header plus an entry", self.block_bytes));
+            return err(format!(
+                "block_bytes {} cannot hold a block header plus an entry",
+                self.block_bytes
+            ));
         }
         Ok(Resolved {
             cores: self.cores,
@@ -212,7 +215,11 @@ mod tests {
 
     #[test]
     fn max_bytes_smaller_than_buffer_rejected() {
-        let c = Config::new(2).active_blocks(4).block_bytes(256).buffer_bytes(256 * 8).max_bytes(256 * 4);
+        let c = Config::new(2)
+            .active_blocks(4)
+            .block_bytes(256)
+            .buffer_bytes(256 * 8)
+            .max_bytes(256 * 4);
         assert!(c.resolve().is_err());
     }
 

@@ -8,7 +8,7 @@
 //! re-check, abandon" loop.
 
 use crate::buffer::Shared;
-use crate::event::{Event, EntryHeader, EntryKind, HEADER_BYTES};
+use crate::event::{EntryHeader, EntryKind, Event, HEADER_BYTES};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -67,6 +67,8 @@ impl Consumer {
     /// Non-destructive: producers keep writing concurrently, and blocks
     /// overwritten mid-read are discarded, never returned torn.
     pub fn collect(&mut self) -> Readout {
+        #[cfg(feature = "telemetry")]
+        let t0 = std::time::Instant::now();
         let _pin = self.participant.pin();
         let shared = Arc::clone(&self.shared);
         let head = shared.global_pos().pos;
@@ -76,6 +78,8 @@ impl Consumer {
         for gpos in lo..head {
             read_block(&shared, &mut self.scratch, gpos, &mut readout);
         }
+        #[cfg(feature = "telemetry")]
+        shared.telem.drain_hist.record(t0.elapsed().as_nanos() as u64);
         readout
     }
 
@@ -96,7 +100,9 @@ impl Consumer {
         for core in 0..shared.cfg.cores {
             let local = shared.core_local(core);
             let map = shared.history.map(local.pos, shared.active());
-            if let crate::meta::Close::Fill { rnd, pos } = shared.metas[map.meta_idx].close(map.rnd, cap) {
+            if let crate::meta::Close::Fill { rnd, pos } =
+                shared.metas[map.meta_idx].close(map.rnd, cap)
+            {
                 let gpos = rnd as u64 * shared.active() as u64 + map.meta_idx as u64;
                 let lag = shared.history.map(gpos, shared.active());
                 shared.write_dummy_run(lag.data_idx, pos, cap - pos);
@@ -108,61 +114,61 @@ impl Consumer {
 }
 
 fn read_block(shared: &Shared, scratch: &mut Vec<u8>, gpos: u64, out: &mut Readout) {
-        let cap = shared.cap() as usize;
-        let map = shared.history.map(gpos, shared.active());
-        // Respect the live capacity bound: blocks beyond it may be
-        // decommitted by a shrink that published the bound before our pin.
-        if map.data_idx >= shared.capacity_blocks.load(Ordering::SeqCst) {
-            out.blocks.recycled += 1;
+    let cap = shared.cap() as usize;
+    let map = shared.history.map(gpos, shared.active());
+    // Respect the live capacity bound: blocks beyond it may be
+    // decommitted by a shrink that published the bound before our pin.
+    if map.data_idx >= shared.capacity_blocks.load(Ordering::SeqCst) {
+        out.blocks.recycled += 1;
+        return;
+    }
+    let meta = &shared.metas[map.meta_idx];
+    let conf = meta.confirmed();
+    let watermark = if conf.rnd < map.rnd {
+        // This sequence number was skipped, or its round never started.
+        out.blocks.recycled += 1;
+        return;
+    } else if conf.rnd == map.rnd {
+        // Current round: readable only when fully confirmed (§4.3).
+        let alloc = meta.allocated();
+        let visible = alloc.pos.min(shared.cap());
+        if alloc.rnd != map.rnd || conf.pos != visible {
+            out.blocks.in_flight += 1;
             return;
         }
-        let meta = &shared.metas[map.meta_idx];
-        let conf = meta.confirmed();
-        let watermark = if conf.rnd < map.rnd {
-            // This sequence number was skipped, or its round never started.
-            out.blocks.recycled += 1;
-            return;
-        } else if conf.rnd == map.rnd {
-            // Current round: readable only when fully confirmed (§4.3).
-            let alloc = meta.allocated();
-            let visible = alloc.pos.min(shared.cap());
-            if alloc.rnd != map.rnd || conf.pos != visible {
-                out.blocks.in_flight += 1;
-                return;
-            }
-            visible as usize
-        } else {
-            // Past round: it was completely filled when it ended.
-            cap
-        };
-        if watermark < HEADER_BYTES {
-            out.blocks.recycled += 1;
-            return;
-        }
+        visible as usize
+    } else {
+        // Past round: it was completely filled when it ended.
+        cap
+    };
+    if watermark < HEADER_BYTES {
+        out.blocks.recycled += 1;
+        return;
+    }
 
-        // Speculative read: snapshot, then re-validate.
-        let base = shared.data.block_offset(map.data_idx);
-        shared.data.load_bytes(base, scratch, watermark);
+    // Speculative read: snapshot, then re-validate.
+    let base = shared.data.block_offset(map.data_idx);
+    shared.data.load_bytes(base, scratch, watermark);
 
-        if !snapshot_is_for(scratch, gpos) {
-            out.blocks.recycled += 1;
-            return;
-        }
-        // Re-read the live header: a wrap-around producer re-initializing
-        // the block between our snapshot and now would have rewritten it.
-        let mut live = [0u64; 2];
-        shared.data.load_words(base, &mut live);
-        let still_ours = EntryHeader::decode(live)
-            .is_some_and(|h| h.kind == EntryKind::BlockHeader && h.stamp == gpos);
-        if !still_ours {
-            out.blocks.torn += 1;
-            return;
-        }
-        // No further checks are needed: entries are append-only within a
-        // round, so `[0, watermark)` is stable unless the round changed —
-        // and a round change rewrites the header, which we just re-read.
-        parse_entries(scratch, gpos, &mut out.events);
-        out.blocks.readable += 1;
+    if !snapshot_is_for(scratch, gpos) {
+        out.blocks.recycled += 1;
+        return;
+    }
+    // Re-read the live header: a wrap-around producer re-initializing
+    // the block between our snapshot and now would have rewritten it.
+    let mut live = [0u64; 2];
+    shared.data.load_words(base, &mut live);
+    let still_ours = EntryHeader::decode(live)
+        .is_some_and(|h| h.kind == EntryKind::BlockHeader && h.stamp == gpos);
+    if !still_ours {
+        out.blocks.torn += 1;
+        return;
+    }
+    // No further checks are needed: entries are append-only within a
+    // round, so `[0, watermark)` is stable unless the round changed —
+    // and a round change rewrites the header, which we just re-read.
+    parse_entries(scratch, gpos, &mut out.events);
+    out.blocks.readable += 1;
 }
 
 fn snapshot_is_for(scratch: &[u8], gpos: u64) -> bool {
@@ -299,13 +305,8 @@ mod tests {
         // The second readout still sees old blocks (non-destructive read of
         // retained data), but the new events live in strictly newer blocks.
         let first_max_gpos = first.events.iter().map(|e| e.gpos()).max().unwrap();
-        let new_min_gpos = second
-            .events
-            .iter()
-            .filter(|e| e.stamp() >= 5)
-            .map(|e| e.gpos())
-            .min()
-            .unwrap();
+        let new_min_gpos =
+            second.events.iter().filter(|e| e.stamp() >= 5).map(|e| e.gpos()).min().unwrap();
         assert!(new_min_gpos > first_max_gpos, "closed blocks must not receive new events");
     }
 
@@ -335,7 +336,7 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_reads_and_writes_never_tear_events(){
+    fn concurrent_reads_and_writes_never_tear_events() {
         use std::sync::atomic::{AtomicBool, Ordering};
         use std::sync::Arc;
         let t = tracer();

@@ -196,7 +196,14 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        let h = EntryHeader { len: 40, kind: EntryKind::Data, pad: 5, core: 11, tid: 0xDEAD_BEEF, stamp: 42 };
+        let h = EntryHeader {
+            len: 40,
+            kind: EntryKind::Data,
+            pad: 5,
+            core: 11,
+            tid: 0xDEAD_BEEF,
+            stamp: 42,
+        };
         assert_eq!(EntryHeader::decode(h.encode()), Some(h));
         assert_eq!(h.payload_len(), Some(40 - 16 - 5));
     }

@@ -149,7 +149,7 @@ mod tests {
     fn history_map_uses_ratio_of_the_round() {
         let h = RatioHistory::new(1);
         h.push(8, 2); // from gpos 8 on, ratio 2 (A = 4)
-        // gpos 5 (rnd 1, ratio 1) maps within the first 4 blocks.
+                      // gpos 5 (rnd 1, ratio 1) maps within the first 4 blocks.
         assert_eq!(h.map(5, 4).data_idx, 1);
         // gpos 13 (rnd 3, ratio 2) alternates between the two banks.
         assert_eq!(h.map(13, 4).data_idx, 4 + 1);

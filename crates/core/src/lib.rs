@@ -61,6 +61,8 @@ mod resize;
 pub mod sink;
 mod stats;
 mod tail;
+#[cfg(feature = "telemetry")]
+mod telem;
 
 pub use buffer::BTrace;
 pub use config::Config;

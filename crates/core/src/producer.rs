@@ -135,10 +135,17 @@ pub(crate) fn record_on(
         return Err(TraceError::EntryTooLarge { payload: payload.len(), max });
     }
     let need = encoded_len(payload.len()) as u32;
+    // Sampled fast-path timing: untimed records pay one relaxed load.
+    #[cfg(feature = "telemetry")]
+    let timer = shared.telem.record_timer(shared.counters.records_on_core(core));
     let granted = shared.allocate(core, need);
     write_entry(shared, &granted, stamp, tid, core as u16, payload);
     shared.confirm_entry(granted.meta_idx, granted.len);
     shared.counters.record_on_core(core, granted.len as u64);
+    #[cfg(feature = "telemetry")]
+    if let Some(t0) = timer {
+        shared.telem.record_hist.record(core, t0.elapsed().as_nanos() as u64);
+    }
     Ok(())
 }
 
@@ -353,8 +360,8 @@ mod tests {
         let t = tracer(1);
         let p = t.producer(0).unwrap();
         let held = p.begin(8).unwrap(); // simulated preemption mid-write
-        // Other threads on the core keep writing straight through block
-        // boundaries (the held grant's block is skipped at wrap-around).
+                                        // Other threads on the core keep writing straight through block
+                                        // boundaries (the held grant's block is skipped at wrap-around).
         for i in 0..200 {
             p.record_with(100 + i, 1, b"filler-entry").unwrap();
         }

@@ -47,6 +47,23 @@ impl Counters {
         hot.recorded_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Records committed so far on `core` (relaxed; used by the telemetry
+    /// sampling decision).
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    pub(crate) fn records_on_core(&self, core: usize) -> u64 {
+        self.per_core[core].records.load(Ordering::Relaxed)
+    }
+
+    /// Per-core `(records, recorded_bytes)` pairs, indexed by core.
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn per_core_snapshot(&self) -> Vec<(u64, u64)> {
+        self.per_core
+            .iter()
+            .map(|c| (c.records.load(Ordering::Relaxed), c.recorded_bytes.load(Ordering::Relaxed)))
+            .collect()
+    }
+
     pub(crate) fn bump(&self, counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
@@ -58,7 +75,11 @@ impl Counters {
     pub(crate) fn snapshot(&self) -> Stats {
         Stats {
             records: self.per_core.iter().map(|c| c.records.load(Ordering::Relaxed)).sum(),
-            recorded_bytes: self.per_core.iter().map(|c| c.recorded_bytes.load(Ordering::Relaxed)).sum(),
+            recorded_bytes: self
+                .per_core
+                .iter()
+                .map(|c| c.recorded_bytes.load(Ordering::Relaxed))
+                .sum(),
             dummy_bytes: self.dummy_bytes.load(Ordering::Relaxed),
             advances: self.advances.load(Ordering::Relaxed),
             closes: self.closes.load(Ordering::Relaxed),
@@ -105,6 +126,25 @@ impl Stats {
             self.dummy_bytes as f64 / total as f64
         }
     }
+
+    /// Observed effectivity ratio: the fraction of written bytes that
+    /// carried real payload, the quantity the paper bounds by `1 − A/N`
+    /// (§3.2). Complement of [`dummy_fraction`](Stats::dummy_fraction);
+    /// 1.0 when nothing has been written (no waste yet).
+    pub fn effectivity_ratio(&self) -> f64 {
+        1.0 - self.dummy_fraction()
+    }
+
+    /// Skips per advance: how often the slow path found its candidate
+    /// block still pinned by unconfirmed writes and skipped it (§3.4).
+    /// 0.0 when no advance has run.
+    pub fn skip_rate(&self) -> f64 {
+        if self.advances == 0 {
+            0.0
+        } else {
+            self.skips as f64 / self.advances as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -129,5 +169,20 @@ mod tests {
         assert_eq!(Stats::default().dummy_fraction(), 0.0);
         let s = Stats { recorded_bytes: 300, dummy_bytes: 100, ..Stats::default() };
         assert!((s.dummy_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effectivity_ratio_complements_dummy_fraction() {
+        assert_eq!(Stats::default().effectivity_ratio(), 1.0);
+        let s = Stats { recorded_bytes: 300, dummy_bytes: 100, ..Stats::default() };
+        assert!((s.effectivity_ratio() - 0.75).abs() < 1e-9);
+        assert!((s.effectivity_ratio() + s.dummy_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skip_rate_handles_zero_advances() {
+        assert_eq!(Stats::default().skip_rate(), 0.0);
+        let s = Stats { advances: 40, skips: 10, ..Stats::default() };
+        assert!((s.skip_rate() - 0.25).abs() < 1e-9);
     }
 }

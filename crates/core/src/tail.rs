@@ -8,7 +8,7 @@
 //! unread blocks, which is reported as `missed`).
 
 use crate::buffer::Shared;
-use crate::event::{Event, EntryHeader, EntryKind, HEADER_BYTES};
+use crate::event::{EntryHeader, EntryKind, Event, HEADER_BYTES};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -160,8 +160,8 @@ fn read_incremental(
     }
     let mut live = [0u64; 2];
     shared.data.load_words(base, &mut live);
-    let still_ours =
-        EntryHeader::decode(live).is_some_and(|h| h.kind == EntryKind::BlockHeader && h.stamp == gpos);
+    let still_ours = EntryHeader::decode(live)
+        .is_some_and(|h| h.kind == EntryKind::BlockHeader && h.stamp == gpos);
     if !still_ours {
         return BlockState::Unavailable;
     }
@@ -205,7 +205,8 @@ fn parse_from(snapshot: &[u8], from: usize, gpos: u64, out: &mut Vec<Event>) -> 
         if header.kind == EntryKind::Data {
             if let Some(payload_len) = header.payload_len() {
                 if off + HEADER_BYTES + payload_len <= snapshot.len() {
-                    let payload = snapshot[off + HEADER_BYTES..off + HEADER_BYTES + payload_len].to_vec();
+                    let payload =
+                        snapshot[off + HEADER_BYTES..off + HEADER_BYTES + payload_len].to_vec();
                     out.push(Event::new(header.stamp, header.core, header.tid, gpos, payload));
                 }
             }

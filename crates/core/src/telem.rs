@@ -1,0 +1,142 @@
+//! Self-observation hooks (the `telemetry` feature).
+//!
+//! The tracer measures itself with the machinery from `btrace-telemetry`:
+//! per-core sharded histograms on the record fast path, plain histograms
+//! on the advance slow path and the consumer drain path, and a
+//! [`HealthSnapshot`] builder that joins the diagnostic counters with live
+//! buffer gauges.
+//!
+//! The fast path is *sampled*: timing every record would put two
+//! `Instant::now()` calls (tens of nanoseconds each) around an operation
+//! the paper budgets at ~10 ns. Instead, 1 in `2^k` records is timed,
+//! chosen by masking the core's own record counter — no extra atomic
+//! state, no RNG, and the untimed 63/64 pay only one relaxed load.
+//! Slow paths (advance, drain) are orders of magnitude rarer and are
+//! always timed.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+use btrace_telemetry::{CoreHealth, HealthSnapshot, Histogram, ShardedHistogram};
+
+use crate::buffer::Shared;
+
+/// Sentinel mask value meaning "record timing disabled".
+const TIMING_OFF: u64 = u64::MAX;
+
+/// Default sampling interval: time 1 in 64 records.
+pub(crate) const DEFAULT_SAMPLE_EVERY: u32 = 64;
+
+/// Per-tracer telemetry state, embedded in `Shared`.
+pub(crate) struct Telemetry {
+    /// Fast-path record latency, sharded per core.
+    pub(crate) record_hist: ShardedHistogram,
+    /// Slow-path (advance/close/skip) latency.
+    pub(crate) advance_hist: Histogram,
+    /// Consumer drain latency.
+    pub(crate) drain_hist: Histogram,
+    /// A record is timed when `records & mask == 0`; [`TIMING_OFF`]
+    /// disables timing.
+    sample_mask: AtomicU64,
+}
+
+impl Telemetry {
+    pub(crate) fn new(cores: usize) -> Self {
+        Self {
+            record_hist: ShardedHistogram::new(cores),
+            advance_hist: Histogram::new(),
+            drain_hist: Histogram::new(),
+            sample_mask: AtomicU64::new(DEFAULT_SAMPLE_EVERY as u64 - 1),
+        }
+    }
+
+    /// Sets the record-timing interval: `Some(n)` times roughly 1 in `n`
+    /// records (`n` rounded up to a power of two), `None` disables timing.
+    pub(crate) fn set_sample_every(&self, every: Option<u32>) {
+        let mask = match every {
+            None => TIMING_OFF,
+            Some(n) => n.max(1).next_power_of_two() as u64 - 1,
+        };
+        self.sample_mask.store(mask, Relaxed);
+    }
+
+    /// Decides whether this record is timed, given the core's record count
+    /// so far. One relaxed load when timing is off or the sample is not
+    /// chosen; `Instant::now()` only for chosen samples.
+    #[inline]
+    pub(crate) fn record_timer(&self, records_so_far: u64) -> Option<Instant> {
+        let mask = self.sample_mask.load(Relaxed);
+        if mask != TIMING_OFF && records_so_far & mask == 0 {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("sample_mask", &self.sample_mask.load(Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds a full health snapshot from the tracer's live state.
+pub(crate) fn health_snapshot(shared: &Shared) -> HealthSnapshot {
+    let stats = shared.counters.snapshot();
+    let cap = shared.cap();
+    let active = shared.active();
+    let capacity_blocks = shared.capacity_blocks.load(std::sync::atomic::Ordering::SeqCst) as usize;
+
+    // Occupancy of the active metadata rounds: how full each currently
+    // live block is, by confirmed bytes. `pos` can transiently exceed the
+    // block size (over-allocation before the tail check), so clamp.
+    let mut open_blocks = 0;
+    let mut occupancy_sum = 0.0;
+    for meta in shared.metas.iter() {
+        let conf = meta.confirmed();
+        let pos = conf.pos.min(cap);
+        if pos < cap {
+            open_blocks += 1;
+        }
+        occupancy_sum += pos as f64 / cap as f64;
+    }
+
+    let per_core = shared
+        .counters
+        .per_core_snapshot()
+        .into_iter()
+        .enumerate()
+        .map(|(core, (records, recorded_bytes))| CoreHealth { core, records, recorded_bytes })
+        .collect();
+
+    HealthSnapshot {
+        seq: 0,
+        unix_ms: 0,
+        cores: shared.cfg.cores,
+        capacity_blocks,
+        active_blocks: active,
+        block_bytes: shared.cfg.block_bytes,
+        capacity_bytes: capacity_blocks * shared.cfg.block_bytes,
+        committed_bytes: shared.committed_extent.load(std::sync::atomic::Ordering::SeqCst) as u64,
+        open_blocks,
+        mean_occupancy: occupancy_sum / active as f64,
+        records: stats.records,
+        recorded_bytes: stats.recorded_bytes,
+        dummy_bytes: stats.dummy_bytes,
+        advances: stats.advances,
+        closes: stats.closes,
+        skips: stats.skips,
+        straggler_repairs: stats.straggler_repairs,
+        resizes: stats.resizes,
+        effectivity_observed: stats.effectivity_ratio(),
+        effectivity_bound: 1.0 - active as f64 / capacity_blocks.max(1) as f64,
+        skip_rate: stats.skip_rate(),
+        per_core,
+        record_latency: shared.telem.record_hist.snapshot().summary(),
+        advance_latency: shared.telem.advance_hist.snapshot().summary(),
+        drain_latency: shared.telem.drain_hist.snapshot().summary(),
+        rates: Default::default(),
+    }
+}

@@ -138,7 +138,8 @@ mod tests {
         let dir = tmpdir("rotate");
         let sink = tracer();
         let collector =
-            Collector::new(Arc::clone(&sink), CollectorConfig::new(&dir).keep(3).prefix("anr")).unwrap();
+            Collector::new(Arc::clone(&sink), CollectorConfig::new(&dir).keep(3).prefix("anr"))
+                .unwrap();
         for i in 0..7 {
             sink.producer(0).unwrap().record_with(i, 0, b"x").unwrap();
             collector.trigger(&format!("symptom-{i}")).unwrap();

@@ -244,7 +244,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("btrace-persist-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("btrace-persist-{name}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("create temp dir");
         dir
     }

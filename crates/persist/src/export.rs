@@ -1,0 +1,168 @@
+//! File-backed telemetry exporters: JSONL streams and Prometheus
+//! textfiles.
+//!
+//! These are the disk ends of the telemetry pipeline: a
+//! [`btrace_telemetry::Sampler`] drives them with one
+//! [`HealthSnapshot`] per period.
+//!
+//! * [`JsonlExporter`] appends one JSON object per line — the natural
+//!   format for shipping health history off-device and replaying it in
+//!   analysis (each line parses back via [`HealthSnapshot::from_json`]).
+//! * [`PrometheusExporter`] rewrites a text-exposition-format file on
+//!   every sample, atomically (write to `<path>.tmp`, then rename), the
+//!   contract node-exporter's textfile collector expects.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use btrace_telemetry::{Exporter, HealthSnapshot};
+
+/// Appends snapshots to a file as JSON Lines.
+#[derive(Debug)]
+pub struct JsonlExporter {
+    writer: BufWriter<File>,
+}
+
+impl JsonlExporter {
+    /// Opens `path` for appending, creating it if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying open failure.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self { writer: BufWriter::new(file) })
+    }
+}
+
+impl Exporter for JsonlExporter {
+    fn export(&mut self, snapshot: &HealthSnapshot) -> io::Result<()> {
+        self.writer.write_all(snapshot.to_json().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        // One flush per sample keeps the tail loss to at most the snapshot
+        // being written when the process dies — these are health records,
+        // not the trace itself, so write amplification is negligible.
+        self.writer.flush()
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Reads a JSONL health log back into snapshots (the inverse of
+/// [`JsonlExporter`]); blank lines are skipped.
+///
+/// # Errors
+///
+/// I/O errors reading the file, or [`io::ErrorKind::InvalidData`] when a
+/// line does not parse as a [`HealthSnapshot`].
+pub fn read_jsonl(path: impl AsRef<Path>) -> io::Result<Vec<HealthSnapshot>> {
+    let text = std::fs::read_to_string(path)?;
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| {
+            HealthSnapshot::from_json(line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        })
+        .collect()
+}
+
+/// Rewrites a Prometheus text-exposition file on every snapshot.
+#[derive(Debug)]
+pub struct PrometheusExporter {
+    path: PathBuf,
+    tmp: PathBuf,
+}
+
+impl PrometheusExporter {
+    /// Exports to `path` (conventionally `*.prom`). The parent directory
+    /// must exist; the file itself is created on first export.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".tmp");
+        Self { path, tmp: PathBuf::from(tmp) }
+    }
+}
+
+impl Exporter for PrometheusExporter {
+    fn export(&mut self, snapshot: &HealthSnapshot) -> io::Result<()> {
+        // Write-then-rename so scrapers never observe a torn file.
+        std::fs::write(&self.tmp, snapshot.to_prometheus())?;
+        std::fs::rename(&self.tmp, &self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrace_telemetry::CoreHealth;
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("btrace-export-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn snapshot(seq: u64) -> HealthSnapshot {
+        HealthSnapshot {
+            seq,
+            records: 1000 * seq,
+            cores: 1,
+            per_core: vec![CoreHealth { core: 0, records: 1000 * seq, recorded_bytes: 0 }],
+            ..HealthSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn jsonl_appends_and_reads_back() {
+        let dir = scratch_dir("jsonl");
+        let path = dir.join("health.jsonl");
+        let mut exporter = JsonlExporter::create(&path).unwrap();
+        for seq in 0..5 {
+            exporter.export(&snapshot(seq)).unwrap();
+        }
+        drop(exporter);
+        // Append mode: a reopened exporter extends the log.
+        let mut exporter = JsonlExporter::create(&path).unwrap();
+        exporter.export(&snapshot(5)).unwrap();
+        drop(exporter);
+
+        let restored = read_jsonl(&path).unwrap();
+        assert_eq!(restored.len(), 6);
+        for (seq, snap) in restored.iter().enumerate() {
+            assert_eq!(*snap, snapshot(seq as u64));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_reader_rejects_corruption() {
+        let dir = scratch_dir("jsonl-bad");
+        let path = dir.join("health.jsonl");
+        std::fs::write(&path, format!("{}\nnot json\n", snapshot(0).to_json())).unwrap();
+        assert_eq!(read_jsonl(&path).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prometheus_file_is_replaced_whole() {
+        let dir = scratch_dir("prom");
+        let path = dir.join("btrace.prom");
+        let mut exporter = PrometheusExporter::new(&path);
+        exporter.export(&snapshot(1)).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        assert!(first.contains("btrace_records_total 1000"));
+        exporter.export(&snapshot(2)).unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert!(second.contains("btrace_records_total 2000"));
+        assert!(
+            !second.contains("btrace_records_total 1000"),
+            "file must be replaced, not appended"
+        );
+        assert!(!path.with_extension("prom.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

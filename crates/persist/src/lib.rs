@@ -38,6 +38,8 @@
 
 mod collector;
 mod dump;
+mod export;
 
 pub use collector::{Collector, CollectorConfig};
 pub use dump::{DumpError, TraceDump};
+pub use export::{read_jsonl, JsonlExporter, PrometheusExporter};

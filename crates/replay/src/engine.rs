@@ -206,9 +206,11 @@ fn run_core<S: TraceSink>(
     stamp: &AtomicU64,
     barrier: &Barrier,
 ) -> WorkerOut {
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(core as u64));
-    let total_events = (scenario.core_rates[core] as f64 * crate::model::TRACE_SECONDS as f64 * config.scale)
-        .round() as u64;
+    let mut rng =
+        StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(core as u64));
+    let total_events =
+        (scenario.core_rates[core] as f64 * crate::model::TRACE_SECONDS as f64 * config.scale)
+            .round() as u64;
     let slices = config.slices.max(1) as u64;
     let preemptible = sink.preemptible_writes() && matches!(config.mode, ReplayMode::ThreadLevel);
 
@@ -233,7 +235,8 @@ fn run_core<S: TraceSink>(
     let max_parked = config.max_parked_per_core;
     let mut parked = 0usize;
 
-    let mut out = WorkerOut { written: 0, written_bytes: 0, dropped: 0, latencies: Vec::new(), tids: 0 };
+    let mut out =
+        WorkerOut { written: 0, written_bytes: 0, dropped: 0, latencies: Vec::new(), tids: 0 };
     let sample_every = config.latency_sample_every as u64;
 
     for slice in 0..slices {
@@ -280,7 +283,9 @@ fn run_core<S: TraceSink>(
                     }
                     Begin::Dropped => out.dropped += 1,
                 }
-            } else if sink.record(core, ctx.tid, s, &PAYLOAD[..payload_len]) == RecordOutcome::Dropped {
+            } else if sink.record(core, ctx.tid, s, &PAYLOAD[..payload_len])
+                == RecordOutcome::Dropped
+            {
                 out.dropped += 1;
             }
 

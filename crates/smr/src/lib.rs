@@ -75,9 +75,7 @@ impl Domain {
     /// Participants may be dropped at any time; their slot is garbage
     /// collected during subsequent [`Domain::synchronize`] calls.
     pub fn register(&self) -> Participant {
-        let slot = Arc::new(Slot {
-            pinned_at: CachePadded::new(AtomicU64::new(QUIESCENT)),
-        });
+        let slot = Arc::new(Slot { pinned_at: CachePadded::new(AtomicU64::new(QUIESCENT)) });
         self.inner
             .participants
             .lock()
@@ -132,7 +130,8 @@ impl Domain {
     /// [`Participant`] has been dropped, so leaked threads cannot wedge the
     /// shrinker.
     fn sweep_and_check(&self, target: u64) -> bool {
-        let mut participants = self.inner.participants.lock().expect("participant registry poisoned");
+        let mut participants =
+            self.inner.participants.lock().expect("participant registry poisoned");
         participants.retain(|slot| Arc::strong_count(slot) > 1);
         participants.iter().all(|slot| {
             let pinned = slot.pinned_at.load(Ordering::SeqCst);
@@ -306,7 +305,10 @@ mod tests {
         let p = domain.register();
         let target = domain.advance();
         let _g = p.pin(); // pinned at the *new* epoch
-        assert!(domain.quiescent_at(target), "a pin at the new epoch must not block the old target");
+        assert!(
+            domain.quiescent_at(target),
+            "a pin at the new epoch must not block the old target"
+        );
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! Health snapshots: the unit of export.
+//!
+//! A [`HealthSnapshot`] is everything the tracer can say about itself at
+//! one instant: cumulative mechanism counters (records, advances, closes,
+//! skips — the events of §3.2–§3.4 of the paper), buffer gauges, per-core
+//! breakdowns, latency summaries from the histograms, and the observed
+//! effectivity ratio side by side with the paper's `1 − A/N` bound.
+//! Snapshots serialize to single-line JSON (for JSONL streams) and to
+//! Prometheus text exposition format, and parse back losslessly.
+
+use crate::json::{Json, ParseError};
+
+/// Condensed latency distribution (nanoseconds), produced by
+/// [`crate::HistogramSnapshot::summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of timed samples (for sampled paths this is less than the
+    /// operation count).
+    pub count: u64,
+    /// Mean latency in nanoseconds.
+    pub mean_ns: f64,
+    /// 50th-percentile latency (ns, bucket upper bound).
+    pub p50: u64,
+    /// 90th-percentile latency (ns).
+    pub p90: u64,
+    /// 99th-percentile latency (ns).
+    pub p99: u64,
+    /// 99.9th-percentile latency (ns).
+    pub p999: u64,
+    /// Maximum observed latency (ns, bucket upper bound).
+    pub max: u64,
+}
+
+impl LatencySummary {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::from_u64(self.count)),
+            ("mean_ns".into(), Json::from_f64(self.mean_ns)),
+            ("p50".into(), Json::from_u64(self.p50)),
+            ("p90".into(), Json::from_u64(self.p90)),
+            ("p99".into(), Json::from_u64(self.p99)),
+            ("p999".into(), Json::from_u64(self.p999)),
+            ("max".into(), Json::from_u64(self.max)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        Some(Self {
+            count: v.get("count")?.as_u64()?,
+            mean_ns: v.get("mean_ns")?.as_f64()?,
+            p50: v.get("p50")?.as_u64()?,
+            p90: v.get("p90")?.as_u64()?,
+            p99: v.get("p99")?.as_u64()?,
+            p999: v.get("p999")?.as_u64()?,
+            max: v.get("max")?.as_u64()?,
+        })
+    }
+}
+
+/// Per-core slice of the health report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreHealth {
+    /// Core (shard) index.
+    pub core: usize,
+    /// Entries recorded from this core.
+    pub records: u64,
+    /// Payload bytes recorded from this core.
+    pub recorded_bytes: u64,
+}
+
+impl CoreHealth {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("core".into(), Json::from_u64(self.core as u64)),
+            ("records".into(), Json::from_u64(self.records)),
+            ("recorded_bytes".into(), Json::from_u64(self.recorded_bytes)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        Some(Self {
+            core: v.get("core")?.as_usize()?,
+            records: v.get("records")?.as_u64()?,
+            recorded_bytes: v.get("recorded_bytes")?.as_u64()?,
+        })
+    }
+}
+
+/// Rate-windowed deltas between consecutive sampler snapshots. All zeros
+/// on a raw (non-sampler) snapshot or the first sample of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rates {
+    /// Width of the measurement window in seconds (0 when unavailable).
+    pub window_secs: f64,
+    /// Entries recorded per second over the window.
+    pub records_per_sec: f64,
+    /// Payload bytes recorded per second over the window.
+    pub bytes_per_sec: f64,
+    /// Block advances (slow-path entries) per second over the window.
+    pub advances_per_sec: f64,
+    /// Block skips per second over the window.
+    pub skips_per_sec: f64,
+}
+
+impl Rates {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("window_secs".into(), Json::from_f64(self.window_secs)),
+            ("records_per_sec".into(), Json::from_f64(self.records_per_sec)),
+            ("bytes_per_sec".into(), Json::from_f64(self.bytes_per_sec)),
+            ("advances_per_sec".into(), Json::from_f64(self.advances_per_sec)),
+            ("skips_per_sec".into(), Json::from_f64(self.skips_per_sec)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        Some(Self {
+            window_secs: v.get("window_secs")?.as_f64()?,
+            records_per_sec: v.get("records_per_sec")?.as_f64()?,
+            bytes_per_sec: v.get("bytes_per_sec")?.as_f64()?,
+            advances_per_sec: v.get("advances_per_sec")?.as_f64()?,
+            skips_per_sec: v.get("skips_per_sec")?.as_f64()?,
+        })
+    }
+}
+
+/// A point-in-time health report for one tracer instance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthSnapshot {
+    /// Monotone sequence number assigned by the sampler (0 for raw
+    /// snapshots).
+    pub seq: u64,
+    /// Wall-clock capture time, milliseconds since the Unix epoch (0 for
+    /// raw snapshots).
+    pub unix_ms: u64,
+    /// Producer cores / counter shards.
+    pub cores: usize,
+    /// Total data blocks `N`.
+    pub capacity_blocks: usize,
+    /// Active metadata blocks `A`.
+    pub active_blocks: usize,
+    /// Bytes per data block.
+    pub block_bytes: usize,
+    /// Total buffer capacity in bytes.
+    pub capacity_bytes: usize,
+    /// High-water mark of physically committed buffer bytes.
+    pub committed_bytes: u64,
+    /// Active metadata rounds whose block is not yet full.
+    pub open_blocks: usize,
+    /// Mean confirmed fraction of the active metadata rounds, `[0, 1]`.
+    pub mean_occupancy: f64,
+    /// Cumulative entries recorded.
+    pub records: u64,
+    /// Cumulative payload bytes recorded.
+    pub recorded_bytes: u64,
+    /// Cumulative bytes lost to dummy (abandoned) entries.
+    pub dummy_bytes: u64,
+    /// Cumulative slow-path advances (§3.2).
+    pub advances: u64,
+    /// Cumulative block closes.
+    pub closes: u64,
+    /// Cumulative block skips (§3.4).
+    pub skips: u64,
+    /// Cumulative straggler repairs.
+    pub straggler_repairs: u64,
+    /// Cumulative buffer resizes.
+    pub resizes: u64,
+    /// Observed effectivity: recorded bytes over recorded + dummy bytes.
+    pub effectivity_observed: f64,
+    /// The paper's effectivity bound `1 − A/N`.
+    pub effectivity_bound: f64,
+    /// Skips per advance (how often the slow path found a stuck block).
+    pub skip_rate: f64,
+    /// Per-core record counts and bytes.
+    pub per_core: Vec<CoreHealth>,
+    /// Fast-path record latency (sampled).
+    pub record_latency: LatencySummary,
+    /// Slow-path advance/close/skip latency.
+    pub advance_latency: LatencySummary,
+    /// Consumer drain latency.
+    pub drain_latency: LatencySummary,
+    /// Rate-windowed deltas (filled by the sampler).
+    pub rates: Rates,
+}
+
+impl HealthSnapshot {
+    /// Serializes to a single-line JSON object (one JSONL record).
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("seq".into(), Json::from_u64(self.seq)),
+            ("unix_ms".into(), Json::from_u64(self.unix_ms)),
+            ("cores".into(), Json::from_u64(self.cores as u64)),
+            ("capacity_blocks".into(), Json::from_u64(self.capacity_blocks as u64)),
+            ("active_blocks".into(), Json::from_u64(self.active_blocks as u64)),
+            ("block_bytes".into(), Json::from_u64(self.block_bytes as u64)),
+            ("capacity_bytes".into(), Json::from_u64(self.capacity_bytes as u64)),
+            ("committed_bytes".into(), Json::from_u64(self.committed_bytes)),
+            ("open_blocks".into(), Json::from_u64(self.open_blocks as u64)),
+            ("mean_occupancy".into(), Json::from_f64(self.mean_occupancy)),
+            ("records".into(), Json::from_u64(self.records)),
+            ("recorded_bytes".into(), Json::from_u64(self.recorded_bytes)),
+            ("dummy_bytes".into(), Json::from_u64(self.dummy_bytes)),
+            ("advances".into(), Json::from_u64(self.advances)),
+            ("closes".into(), Json::from_u64(self.closes)),
+            ("skips".into(), Json::from_u64(self.skips)),
+            ("straggler_repairs".into(), Json::from_u64(self.straggler_repairs)),
+            ("resizes".into(), Json::from_u64(self.resizes)),
+            ("effectivity_observed".into(), Json::from_f64(self.effectivity_observed)),
+            ("effectivity_bound".into(), Json::from_f64(self.effectivity_bound)),
+            ("skip_rate".into(), Json::from_f64(self.skip_rate)),
+            ("per_core".into(), Json::Arr(self.per_core.iter().map(|c| c.to_json()).collect())),
+            ("record_latency".into(), self.record_latency.to_json()),
+            ("advance_latency".into(), self.advance_latency.to_json()),
+            ("drain_latency".into(), self.drain_latency.to_json()),
+            ("rates".into(), self.rates.to_json()),
+        ])
+        .render()
+    }
+
+    /// Parses a snapshot previously produced by
+    /// [`to_json`](HealthSnapshot::to_json).
+    pub fn from_json(text: &str) -> Result<HealthSnapshot, ParseError> {
+        let v = Json::parse(text)?;
+        Self::decode(&v).ok_or(ParseError { pos: 0, reason: "missing or mistyped field" })
+    }
+
+    fn decode(v: &Json) -> Option<HealthSnapshot> {
+        Some(HealthSnapshot {
+            seq: v.get("seq")?.as_u64()?,
+            unix_ms: v.get("unix_ms")?.as_u64()?,
+            cores: v.get("cores")?.as_usize()?,
+            capacity_blocks: v.get("capacity_blocks")?.as_usize()?,
+            active_blocks: v.get("active_blocks")?.as_usize()?,
+            block_bytes: v.get("block_bytes")?.as_usize()?,
+            capacity_bytes: v.get("capacity_bytes")?.as_usize()?,
+            committed_bytes: v.get("committed_bytes")?.as_u64()?,
+            open_blocks: v.get("open_blocks")?.as_usize()?,
+            mean_occupancy: v.get("mean_occupancy")?.as_f64()?,
+            records: v.get("records")?.as_u64()?,
+            recorded_bytes: v.get("recorded_bytes")?.as_u64()?,
+            dummy_bytes: v.get("dummy_bytes")?.as_u64()?,
+            advances: v.get("advances")?.as_u64()?,
+            closes: v.get("closes")?.as_u64()?,
+            skips: v.get("skips")?.as_u64()?,
+            straggler_repairs: v.get("straggler_repairs")?.as_u64()?,
+            resizes: v.get("resizes")?.as_u64()?,
+            effectivity_observed: v.get("effectivity_observed")?.as_f64()?,
+            effectivity_bound: v.get("effectivity_bound")?.as_f64()?,
+            skip_rate: v.get("skip_rate")?.as_f64()?,
+            per_core: v
+                .get("per_core")?
+                .as_arr()?
+                .iter()
+                .map(CoreHealth::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            record_latency: LatencySummary::from_json(v.get("record_latency")?)?,
+            advance_latency: LatencySummary::from_json(v.get("advance_latency")?)?,
+            drain_latency: LatencySummary::from_json(v.get("drain_latency")?)?,
+            rates: Rates::from_json(v.get("rates")?)?,
+        })
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (metric families with `# HELP`/`# TYPE` headers, suitable for a
+    /// node-exporter textfile collector or a `/metrics` endpoint).
+    pub fn to_prometheus(&self) -> String {
+        fn family(out: &mut String, kind: &str, name: &str, help: &str, value: &str) {
+            out.push_str(&format!(
+                "# HELP btrace_{name} {help}\n# TYPE btrace_{name} {kind}\nbtrace_{name} {value}\n"
+            ));
+        }
+        let mut out = String::new();
+        for (name, help, value) in [
+            ("records_total", "Entries recorded.", self.records),
+            ("recorded_bytes_total", "Payload bytes recorded.", self.recorded_bytes),
+            ("dummy_bytes_total", "Bytes lost to dummy entries.", self.dummy_bytes),
+            ("advances_total", "Slow-path block advances.", self.advances),
+            ("closes_total", "Blocks closed.", self.closes),
+            ("skips_total", "Blocks skipped.", self.skips),
+            ("straggler_repairs_total", "Straggler repairs.", self.straggler_repairs),
+            ("resizes_total", "Buffer resizes.", self.resizes),
+        ] {
+            family(&mut out, "counter", name, help, &value.to_string());
+        }
+        for (name, help, value) in [
+            ("capacity_blocks", "Total data blocks N.", self.capacity_blocks.to_string()),
+            ("active_blocks", "Active metadata blocks A.", self.active_blocks.to_string()),
+            ("capacity_bytes", "Buffer capacity in bytes.", self.capacity_bytes.to_string()),
+            ("committed_bytes", "Committed buffer bytes.", self.committed_bytes.to_string()),
+            ("open_blocks", "Active rounds not yet full.", self.open_blocks.to_string()),
+            (
+                "mean_occupancy",
+                "Mean confirmed fraction of active rounds.",
+                fmt_f64(self.mean_occupancy),
+            ),
+            (
+                "effectivity_observed",
+                "Observed effectivity ratio.",
+                fmt_f64(self.effectivity_observed),
+            ),
+            ("effectivity_bound", "Paper bound 1 - A/N.", fmt_f64(self.effectivity_bound)),
+            ("skip_rate", "Skips per advance.", fmt_f64(self.skip_rate)),
+            (
+                "records_per_sec",
+                "Record rate over the sample window.",
+                fmt_f64(self.rates.records_per_sec),
+            ),
+            (
+                "bytes_per_sec",
+                "Byte rate over the sample window.",
+                fmt_f64(self.rates.bytes_per_sec),
+            ),
+        ] {
+            family(&mut out, "gauge", name, help, &value);
+        }
+
+        out.push_str("# HELP btrace_core_records_total Entries recorded per core.\n");
+        out.push_str("# TYPE btrace_core_records_total counter\n");
+        for core in &self.per_core {
+            out.push_str(&format!(
+                "btrace_core_records_total{{core=\"{}\"}} {}\n",
+                core.core, core.records
+            ));
+        }
+
+        for (path, summary) in [
+            ("record", &self.record_latency),
+            ("advance", &self.advance_latency),
+            ("drain", &self.drain_latency),
+        ] {
+            out.push_str(&format!(
+                "# HELP btrace_{path}_latency_ns {path} latency quantiles (sampled, ns).\n\
+                 # TYPE btrace_{path}_latency_ns summary\n"
+            ));
+            for (q, v) in [
+                ("0.5", summary.p50),
+                ("0.9", summary.p90),
+                ("0.99", summary.p99),
+                ("0.999", summary.p999),
+            ] {
+                out.push_str(&format!("btrace_{path}_latency_ns{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("btrace_{path}_latency_ns_count {}\n", summary.count));
+            out.push_str(&format!(
+                "btrace_{path}_latency_ns_sum {}\n",
+                fmt_f64(summary.mean_ns * summary.count as f64)
+            ));
+        }
+        out
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HealthSnapshot {
+        HealthSnapshot {
+            seq: 7,
+            unix_ms: 1_754_000_000_123,
+            cores: 2,
+            capacity_blocks: 3072,
+            active_blocks: 192,
+            block_bytes: 4096,
+            capacity_bytes: 12 << 20,
+            committed_bytes: 1 << 20,
+            open_blocks: 150,
+            mean_occupancy: 0.42,
+            records: (1 << 53) + 17, // exercise > f64-exact integers
+            recorded_bytes: 999,
+            dummy_bytes: 1,
+            advances: 10,
+            closes: 9,
+            skips: 1,
+            straggler_repairs: 0,
+            resizes: 2,
+            effectivity_observed: 0.999,
+            effectivity_bound: 0.9375,
+            skip_rate: 0.1,
+            per_core: vec![
+                CoreHealth { core: 0, records: 600, recorded_bytes: 500 },
+                CoreHealth { core: 1, records: 400, recorded_bytes: 499 },
+            ],
+            record_latency: LatencySummary {
+                count: 100,
+                mean_ns: 12.5,
+                p50: 11,
+                p90: 15,
+                p99: 31,
+                p999: 63,
+                max: 95,
+            },
+            advance_latency: LatencySummary::default(),
+            drain_latency: LatencySummary::default(),
+            rates: Rates {
+                window_secs: 1.0,
+                records_per_sec: 1000.0,
+                bytes_per_sec: 999.0,
+                advances_per_sec: 10.0,
+                skips_per_sec: 1.0,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let snap = sample();
+        let line = snap.to_json();
+        assert!(!line.contains('\n'), "JSONL records must be single-line");
+        let parsed = HealthSnapshot::from_json(&line).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn default_round_trips_too() {
+        let snap = HealthSnapshot::default();
+        assert_eq!(HealthSnapshot::from_json(&snap.to_json()).unwrap(), snap);
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let line = sample().to_json();
+        assert!(HealthSnapshot::from_json(&line[..line.len() / 2]).is_err());
+        assert!(HealthSnapshot::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn prometheus_output_has_expected_families() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE btrace_records_total counter"));
+        assert!(text.contains(&format!("btrace_records_total {}", (1u64 << 53) + 17)));
+        assert!(text.contains("btrace_core_records_total{core=\"1\"} 400"));
+        assert!(text.contains("btrace_record_latency_ns{quantile=\"0.99\"} 31"));
+        assert!(text.contains("btrace_effectivity_bound 0.9375"));
+        // Every line is either a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(line.starts_with('#') || line.contains(' '), "bad line: {line}");
+        }
+    }
+}

@@ -35,7 +35,10 @@ impl fmt::Display for RegionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             RegionError::InvalidSize { requested } => {
-                write!(f, "invalid region size {requested}: must be a non-zero multiple of the page size")
+                write!(
+                    f,
+                    "invalid region size {requested}: must be a non-zero multiple of the page size"
+                )
             }
             RegionError::InvalidRange { offset, len, region } => {
                 write!(f, "invalid range [{offset}, {offset}+{len}) for region of {region} bytes: must be page-aligned and in bounds")

@@ -63,9 +63,7 @@ impl Drop for HeapBacking {
 
 impl std::fmt::Debug for HeapBacking {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HeapBacking")
-            .field("bytes", &self.layout.size())
-            .finish()
+        f.debug_struct("HeapBacking").field("bytes", &self.layout.size()).finish()
     }
 }
 

@@ -41,7 +41,15 @@ mod nr {
 ///
 /// The caller must uphold the contract of the specific syscall being made.
 #[cfg(target_arch = "x86_64")]
-unsafe fn syscall6(nr: usize, a0: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize) -> isize {
+unsafe fn syscall6(
+    nr: usize,
+    a0: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+) -> isize {
     let ret: isize;
     std::arch::asm!(
         "syscall",
@@ -65,7 +73,15 @@ unsafe fn syscall6(nr: usize, a0: usize, a1: usize, a2: usize, a3: usize, a4: us
 ///
 /// The caller must uphold the contract of the specific syscall being made.
 #[cfg(target_arch = "aarch64")]
-unsafe fn syscall6(nr: usize, a0: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize) -> isize {
+unsafe fn syscall6(
+    nr: usize,
+    a0: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+) -> isize {
     let ret: isize;
     std::arch::asm!(
         "svc 0",
@@ -125,7 +141,9 @@ impl MmapBacking {
     pub(crate) fn decommit(&self, offset: usize, len: usize) -> Result<(), RegionError> {
         // SAFETY: range validated by the caller; DONTNEED on an anonymous
         // private mapping discards the pages (subsequent reads see zeroes).
-        let ret = unsafe { syscall6(nr::MADVISE, self.ptr as usize + offset, len, MADV_DONTNEED, 0, 0, 0) };
+        let ret = unsafe {
+            syscall6(nr::MADVISE, self.ptr as usize + offset, len, MADV_DONTNEED, 0, 0, 0)
+        };
         if ret < 0 {
             return Err(RegionError::CommitFailed { errno: (-ret) as i32 });
         }

@@ -95,15 +95,14 @@ impl Region {
         let backing = match backing {
             #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
             Backing::Mmap => BackingImpl::Mmap(MmapBacking::reserve(max_bytes)?),
-            #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+            #[cfg(not(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            )))]
             Backing::Mmap => BackingImpl::Heap(HeapBacking::reserve(max_bytes)?),
             Backing::Heap => BackingImpl::Heap(HeapBacking::reserve(max_bytes)?),
         };
-        Ok(Self {
-            backing,
-            bitmap: PageBitmap::new(max_bytes / PAGE_SIZE),
-            max_bytes,
-        })
+        Ok(Self { backing, bitmap: PageBitmap::new(max_bytes / PAGE_SIZE), max_bytes })
     }
 
     /// Total reserved size in bytes.
@@ -140,7 +139,8 @@ impl Region {
 
     fn validate(&self, offset: usize, len: usize) -> Result<(), RegionError> {
         let aligned = offset.is_multiple_of(PAGE_SIZE) && len.is_multiple_of(PAGE_SIZE);
-        let in_bounds = len != 0 && offset.checked_add(len).is_some_and(|end| end <= self.max_bytes);
+        let in_bounds =
+            len != 0 && offset.checked_add(len).is_some_and(|end| end <= self.max_bytes);
         if aligned && in_bounds {
             Ok(())
         } else {
@@ -276,7 +276,10 @@ mod tests {
         let r = Region::reserve(2 * PAGE_SIZE).unwrap();
         assert!(matches!(r.commit(1, PAGE_SIZE), Err(RegionError::InvalidRange { .. })));
         assert!(matches!(r.commit(0, PAGE_SIZE + 1), Err(RegionError::InvalidRange { .. })));
-        assert!(matches!(r.commit(2 * PAGE_SIZE, PAGE_SIZE), Err(RegionError::InvalidRange { .. })));
+        assert!(matches!(
+            r.commit(2 * PAGE_SIZE, PAGE_SIZE),
+            Err(RegionError::InvalidRange { .. })
+        ));
         assert!(matches!(r.commit(0, 0), Err(RegionError::InvalidRange { .. })));
         // Overflowing range must not wrap around.
         assert!(matches!(

@@ -34,31 +34,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match rng.gen_range(0..100) {
             // Routine traffic.
             0..=59 => {
-                atrace.event(core, (tick % 53) as u32, TraceEvent::SchedSwitch {
-                    prev: (tick % 53) as u32,
-                    next: ((tick + 1) % 53) as u32,
-                    prio: 120,
-                });
+                atrace.event(
+                    core,
+                    (tick % 53) as u32,
+                    TraceEvent::SchedSwitch {
+                        prev: (tick % 53) as u32,
+                        next: ((tick + 1) % 53) as u32,
+                        prio: 120,
+                    },
+                );
             }
             60..=74 => {
-                atrace.event(core, 0, TraceEvent::FreqChange {
-                    cpu: core as u8,
-                    khz: 1_000_000 + rng.gen_range(0..1_800) * 1000,
-                });
+                atrace.event(
+                    core,
+                    0,
+                    TraceEvent::FreqChange {
+                        cpu: core as u8,
+                        khz: 1_000_000 + rng.gen_range(0..1_800) * 1000,
+                    },
+                );
             }
             75..=89 => {
-                atrace.event(core, 0, TraceEvent::IdleEnter { cpu: core as u8, state: rng.gen_range(0..3) });
+                atrace.event(
+                    core,
+                    0,
+                    TraceEvent::IdleEnter { cpu: core as u8, state: rng.gen_range(0..3) },
+                );
             }
             // The defect pattern, always on the middle cores (4..10):
             _ if (4..10).contains(&core) && rng.gen_bool(0.3) => {
                 // deep idle -> render thread placed -> timeout -> migration to a big core
                 atrace.event(core, 0, TraceEvent::IdleEnter { cpu: core as u8, state: 2 });
-                atrace.event(core, RENDER_TID, TraceEvent::SchedWakeup { tid: RENDER_TID, cpu: core as u8 });
-                atrace.event(core, RENDER_TID, TraceEvent::SchedMigrate {
-                    tid: RENDER_TID,
-                    from_cpu: core as u8,
-                    to_cpu: 10 + (tick % 2) as u8,
-                });
+                atrace.event(
+                    core,
+                    RENDER_TID,
+                    TraceEvent::SchedWakeup { tid: RENDER_TID, cpu: core as u8 },
+                );
+                atrace.event(
+                    core,
+                    RENDER_TID,
+                    TraceEvent::SchedMigrate {
+                        tid: RENDER_TID,
+                        from_cpu: core as u8,
+                        to_cpu: 10 + (tick % 2) as u8,
+                    },
+                );
                 bounces += 1;
             }
             _ => {

@@ -33,28 +33,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for tick in 0..40_000u64 {
         let core = (tick % CORES as u64) as usize;
         if core == 2 && (tick / 8) % 2 == 0 {
-            atrace.event(2, CULPRIT_TID, TraceEvent::SchedSwitch {
-                prev: 0,
-                next: CULPRIT_TID,
-                prio: 139, // background priority: nobody suspects it
-            });
+            atrace.event(
+                2,
+                CULPRIT_TID,
+                TraceEvent::SchedSwitch {
+                    prev: 0,
+                    next: CULPRIT_TID,
+                    prio: 139, // background priority: nobody suspects it
+                },
+            );
         } else {
             atrace.event(core, (tick % 41) as u32, TraceEvent::IdleExit { cpu: core as u8 });
         }
         // Temperature creeps up while the culprit runs.
         if tick % 500 == 0 {
-            atrace.event(0, 0, TraceEvent::ThermalThrottle { zone: 0, mdeg: 35_000 + (tick / 500 * 150) as u32 });
+            atrace.event(
+                0,
+                0,
+                TraceEvent::ThermalThrottle { zone: 0, mdeg: 35_000 + (tick / 500 * 150) as u32 },
+            );
         }
     }
 
     // Phase 2 (t = 4..9 s): the culprit is gone; normal traffic continues.
     for tick in 0..30_000u64 {
         let core = (tick % CORES as u64) as usize;
-        atrace.event(core, (tick % 41) as u32, TraceEvent::SchedSwitch {
-            prev: (tick % 41) as u32,
-            next: ((tick + 1) % 41) as u32,
-            prio: 120,
-        });
+        atrace.event(
+            core,
+            (tick % 41) as u32,
+            TraceEvent::SchedSwitch {
+                prev: (tick % 41) as u32,
+                next: ((tick + 1) % 41) as u32,
+                prio: 120,
+            },
+        );
     }
 
     // Phase 3 (t = 9 s): the heat daemon reacts; frames start missing.
@@ -68,7 +80,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The frame-drop monitor fires: dump the buffer for offline forensics.
     let dir = std::env::temp_dir().join(format!("btrace-framedrop-{}", std::process::id()));
-    let collector = Collector::new(Arc::clone(&sink), CollectorConfig::new(&dir).prefix("framedrop"))?;
+    let collector =
+        Collector::new(Arc::clone(&sink), CollectorConfig::new(&dir).prefix("framedrop"))?;
     let dump_path = collector.trigger("frame-drops-after-throttle")?;
     println!("symptom detected; buffer dumped to {}", dump_path.display());
 

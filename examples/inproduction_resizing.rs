@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Anomaly detector fires: grow for the critical phase (app cold start).
     tracer.resize_bytes(16 * STRIDE)?;
-    println!("cold start: capacity {:>5} KiB (growing took one CAS + page commit)", tracer.capacity_bytes() / 1024);
+    println!(
+        "cold start: capacity {:>5} KiB (growing took one CAS + page commit)",
+        tracer.capacity_bytes() / 1024
+    );
 
     // Let the launch "run" while tracing at full detail.
     std::thread::sleep(std::time::Duration::from_millis(300));
@@ -75,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // consumer grace period, then decommits the pages — producers above
     // never stopped recording.
     tracer.resize_bytes(STRIDE)?;
-    println!("steady:     capacity {:>5} KiB (memory returned to the system)", tracer.capacity_bytes() / 1024);
+    println!(
+        "steady:     capacity {:>5} KiB (memory returned to the system)",
+        tracer.capacity_bytes() / 1024
+    );
 
     stop.store(true, Ordering::Relaxed);
     for p in producers {

@@ -12,11 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4 KiB data blocks, 64 active blocks (16 per core, the paper's sweet
     // spot).
     let tracer = BTrace::new(
-        Config::new(4)
-            .buffer_bytes(2 << 20)
-            .max_bytes(8 << 20)
-            .block_bytes(4096)
-            .active_blocks(64),
+        Config::new(4).buffer_bytes(2 << 20).max_bytes(8 << 20).block_bytes(4096).active_blocks(64),
     )?;
     println!("created: {tracer:?}");
 

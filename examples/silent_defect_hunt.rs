@@ -55,14 +55,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stamp += 1;
     }
     // The watchdog fires and dumps both tracers.
-    println!("watchdog timeout! dumping {} written events from a {} KiB buffer\n", stamp, TOTAL / 1024);
+    println!(
+        "watchdog timeout! dumping {} written events from a {} KiB buffer\n",
+        stamp,
+        TOTAL / 1024
+    );
 
     for (name, retained) in [("BTrace", btrace.drain()), ("ftrace (per-core)", ftrace.drain())] {
-        let found: Vec<u64> = retained
-            .iter()
-            .map(|e| e.stamp)
-            .filter(|s| clue_stamps.contains(s))
-            .collect();
+        let found: Vec<u64> =
+            retained.iter().map(|e| e.stamp).filter(|s| clue_stamps.contains(s)).collect();
         let metrics = btrace::analysis::analyze(&retained, TOTAL);
         println!(
             "{name:<20} retained {:>6} events, latest fragment {:>4} KiB, {}/{} clue events found {}",

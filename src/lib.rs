@@ -33,9 +33,9 @@
 
 pub use btrace_analysis as analysis;
 pub use btrace_atrace as atrace;
-pub use btrace_persist as persist;
 pub use btrace_baselines as baselines;
 pub use btrace_core as core;
+pub use btrace_persist as persist;
 pub use btrace_replay as replay;
 pub use btrace_smr as smr;
 pub use btrace_vmem as vmem;

@@ -23,7 +23,8 @@ fn level_presets_gate_volume() {
         for i in 0..300u32 {
             a.event(0, i % 7, TraceEvent::BinderTxn { from: i, to: i + 1, code: 0 }); // L1
             a.event(1, i % 7, TraceEvent::SchedSwitch { prev: i, next: i + 1, prio: 0 }); // L2
-            a.event(2, i % 7, TraceEvent::FreqChange { cpu: 2, khz: 1_000_000 }); // L3
+            a.event(2, i % 7, TraceEvent::FreqChange { cpu: 2, khz: 1_000_000 });
+            // L3
         }
         volumes.push(a.drain_decoded().len());
     }
@@ -42,7 +43,8 @@ fn decoded_events_survive_dump_roundtrip() {
     }
 
     let dir = std::env::temp_dir().join(format!("btrace-pipeline-{}", std::process::id()));
-    let collector = Collector::new(Arc::clone(&sink), CollectorConfig::new(&dir)).expect("collector");
+    let collector =
+        Collector::new(Arc::clone(&sink), CollectorConfig::new(&dir)).expect("collector");
     let path = collector.trigger("jank-detected").expect("dump");
 
     // Offline: read the file back and decode the typed payloads.

@@ -5,7 +5,10 @@ use btrace::core::sink::CollectedEvent;
 use proptest::prelude::*;
 
 fn events(stamps: &[u64]) -> Vec<CollectedEvent> {
-    stamps.iter().map(|&stamp| CollectedEvent { stamp, core: 0, tid: 0, stored_bytes: 16 }).collect()
+    stamps
+        .iter()
+        .map(|&stamp| CollectedEvent { stamp, core: 0, tid: 0, stored_bytes: 16 })
+        .collect()
 }
 
 proptest! {

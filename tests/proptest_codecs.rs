@@ -19,9 +19,12 @@ fn arb_trace_event() -> impl Strategy<Value = OwnedEvent> {
         (any::<u8>(), any::<u32>()).prop_map(|(cpu, khz)| OwnedEvent::FreqChange { cpu, khz }),
         (any::<u8>(), any::<u8>()).prop_map(|(cpu, state)| OwnedEvent::IdleEnter { cpu, state }),
         any::<u8>().prop_map(|cpu| OwnedEvent::IdleExit { cpu }),
-        (any::<u8>(), any::<u32>()).prop_map(|(zone, mdeg)| OwnedEvent::ThermalThrottle { zone, mdeg }),
-        (any::<u8>(), any::<u32>()).prop_map(|(cluster, mw)| OwnedEvent::EnergyEstimate { cluster, mw }),
-        ("[a-z_]{0,20}", any::<i64>()).prop_map(|(name, value)| OwnedEvent::Counter { name, value }),
+        (any::<u8>(), any::<u32>())
+            .prop_map(|(zone, mdeg)| OwnedEvent::ThermalThrottle { zone, mdeg }),
+        (any::<u8>(), any::<u32>())
+            .prop_map(|(cluster, mw)| OwnedEvent::EnergyEstimate { cluster, mw }),
+        ("[a-z_]{0,20}", any::<i64>())
+            .prop_map(|(name, value)| OwnedEvent::Counter { name, value }),
         "[ -~]{0,30}".prop_map(|msg| OwnedEvent::Begin { msg }),
         Just(OwnedEvent::End),
     ]

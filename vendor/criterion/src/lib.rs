@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A simple wall-clock harness with criterion's API shape: `criterion_group!`
+//! / `criterion_main!`, `Criterion::bench_function`, benchmark groups with
+//! throughput annotations, and `Bencher::iter`. Measurement is a fixed
+//! warm-up followed by timed batches; it reports mean ns/iter (plus
+//! throughput when annotated) to stdout. No statistics, plots, or saved
+//! baselines — enough to compare configurations in CI logs and to keep
+//! `cargo test`/`cargo bench` compiling offline.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work (forwards to `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the iteration loop of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly; the harness aggregates the results.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: let caches, branch predictors, and lazy init settle.
+        let warmup_end = Instant::now() + Duration::from_millis(60);
+        while Instant::now() < warmup_end {
+            black_box(routine());
+        }
+        // Measure in batches to amortize clock reads.
+        let mut batch: u64 = 1;
+        let started = Instant::now();
+        while started.elapsed() < self.measure_for {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += t0.elapsed();
+            self.iters_done += batch;
+            batch = (batch * 2).min(1 << 16);
+        }
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters_done == 0 {
+            return f64::NAN;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters_done as f64
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher =
+        Bencher { iters_done: 0, elapsed: Duration::ZERO, measure_for: measure_duration() };
+    f(&mut bencher);
+    let ns = bencher.ns_per_iter();
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 * 1000.0 / ns)
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            format!("  ({:.1} MiB/s)", n as f64 * 1e9 / ns / (1 << 20) as f64)
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<40} {ns:>12.1} ns/iter{extra}");
+}
+
+fn measure_duration() -> Duration {
+    // Overridable so CI can shorten runs (`CRITERION_MEASURE_MS=50`).
+    let ms =
+        std::env::var("CRITERION_MEASURE_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark that receives an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grouped");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::from_parameter("x"), |b| b.iter(|| black_box(2) * 2));
+        group.bench_with_input(BenchmarkId::new("with", 4), &4, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+}

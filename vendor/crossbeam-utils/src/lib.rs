@@ -1,0 +1,84 @@
+//! Offline stand-in for the `crossbeam-utils` crate.
+//!
+//! The workspace builds without network access, so the handful of external
+//! crates it uses are vendored as minimal API-compatible subsets. This one
+//! provides [`CachePadded`], the only item the tracer uses: a wrapper that
+//! aligns (and pads) its contents to a cache-line boundary so adjacent
+//! atomics never share a line (false sharing is exactly what the paper's
+//! per-core fast path must avoid).
+
+#![deny(missing_docs)]
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes.
+///
+/// 128 rather than 64 because modern x86_64 prefetches cache-line pairs and
+/// big.LITTLE ARM SoCs (the paper's target hardware) have 128-byte lines on
+/// some clusters; upstream crossbeam makes the same choice.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+unsafe impl<T: Send> Send for CachePadded<T> {}
+unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns `value`.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Returns the inner value, consuming the padding wrapper.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded").field("value", &self.value).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_at_least_128() {
+        assert_eq!(core::mem::align_of::<CachePadded<u64>>(), 128);
+        assert!(core::mem::size_of::<CachePadded<u64>>() >= 128);
+    }
+
+    #[test]
+    fn deref_round_trips() {
+        let mut p = CachePadded::new(7u32);
+        *p += 1;
+        assert_eq!(*p, 8);
+        assert_eq!(p.into_inner(), 8);
+    }
+}

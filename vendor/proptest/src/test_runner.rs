@@ -1,0 +1,99 @@
+//! The per-test deterministic RNG and runner configuration.
+
+/// Marker returned by `prop_assume!` when a case must be regenerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+/// Runner configuration (only the `cases` knob is honored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property runs over.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic generator (xoshiro256++), seeded from the test name so
+/// every run of a given test sees the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Seeds from a test name (FNV-1a over the bytes).
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01B3);
+        }
+        let mut sm = hash;
+        Self { s: core::array::from_fn(|_| splitmix64(&mut sm)) }
+    }
+
+    /// Next 64-bit word of the stream.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` of zero yields zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.next(), b.next());
+        let mut c = TestRng::for_test("y");
+        assert_ne!(a.next(), c.next());
+    }
+
+    #[test]
+    fn below_is_bounded() {
+        let mut r = TestRng::for_test("bounds");
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+}
