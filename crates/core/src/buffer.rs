@@ -9,9 +9,8 @@ use crate::meta::{Alloc, Close, MetaBlock};
 use crate::packed::{RatioPos, RndPos};
 use crate::raw::DataRegion;
 use crate::stats::{Counters, Stats};
+use crate::sync::{Arc, AtomicU64, AtomicUsize, Mutex, Ordering};
 use crossbeam_utils::CachePadded;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
 
 /// Largest single dummy entry (bounded by the 16-bit length field).
 const MAX_DUMMY: u32 = u16::MAX as u32 & !7;
@@ -217,8 +216,12 @@ impl Shared {
                     // Unconfirmed in-flight writes remain: skip the candidate
                     // to stay non-blocking (§3.4). The physical block keeps
                     // its previous contents; consumers reject it for this
-                    // gpos via the block-header check.
+                    // gpos via the block-header check. When every metadata
+                    // block is pinned this way the loop degenerates into a
+                    // wait on the pinning writers' confirms — hint so they
+                    // can run.
                     self.counters.bump(&self.counters.skips);
+                    crate::sync::contention_hint();
                     continue;
                 }
             }

@@ -9,8 +9,7 @@
 
 use crate::buffer::Shared;
 use crate::event::{EntryHeader, EntryKind, Event, HEADER_BYTES};
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use crate::sync::{Arc, Ordering};
 
 /// Why a block contributed no events to a readout.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -47,6 +47,11 @@ pub(crate) fn map_gpos(gpos: u64, active_blocks: usize, ratio: u16) -> Mapping {
 ///
 /// Reads take a shared lock; resizes are rare and short, and the fast path
 /// never reads it, so contention is negligible.
+///
+/// Deliberately a plain `std` lock rather than a `crate::sync` facade type:
+/// its critical sections contain no facade operations, so under the model
+/// scheduler a thread can never be parked while holding it — blocking
+/// acquisition cannot deadlock a modeled execution.
 #[derive(Debug)]
 pub(crate) struct RatioHistory {
     entries: RwLock<Vec<(u64, u16)>>,

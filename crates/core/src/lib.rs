@@ -52,6 +52,8 @@ mod config;
 mod consumer;
 mod error;
 pub mod event;
+#[cfg(feature = "model")]
+pub mod introspect;
 mod layout;
 mod meta;
 mod packed;
@@ -60,6 +62,7 @@ mod raw;
 mod resize;
 pub mod sink;
 mod stats;
+mod sync;
 mod tail;
 #[cfg(feature = "telemetry")]
 mod telem;
@@ -71,6 +74,8 @@ pub use error::TraceError;
 pub use event::Event;
 pub use producer::{Grant, Producer};
 pub use stats::Stats;
+#[cfg(feature = "model")]
+pub use sync::model_rt;
 pub use tail::{Polled, TailReader};
 
 // Re-exported so downstream crates can configure memory backing without

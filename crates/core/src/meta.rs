@@ -24,8 +24,8 @@
 //!    capacity never correspond to writable space.
 
 use crate::packed::RndPos;
+use crate::sync::{AtomicU64, Ordering};
 use crossbeam_utils::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Result of a fast-path allocation attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -5,7 +5,7 @@
 use crate::buffer::Shared;
 use crate::error::TraceError;
 use crate::event::{encoded_len, EntryHeader, EntryKind, HEADER_BYTES};
-use std::sync::Arc;
+use crate::sync::Arc;
 
 /// Largest payload that fits one entry in a block of `block_bytes`: the
 /// block header consumes the first 16 bytes, the entry header another 16.

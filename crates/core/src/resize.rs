@@ -22,7 +22,7 @@ use crate::buffer::{extent_bytes, BTrace};
 use crate::error::TraceError;
 use crate::meta::Close;
 use crate::packed::RatioPos;
-use std::sync::atomic::Ordering;
+use crate::sync::Ordering;
 use std::time::{Duration, Instant};
 
 /// How long a shrink waits for producers holding unconfirmed grants before
@@ -139,7 +139,7 @@ impl BTrace {
                 if Instant::now() > deadline {
                     return Err(TraceError::ResizeTimeout { meta: idx });
                 }
-                std::thread::yield_now();
+                crate::sync::spin_hint();
             }
         }
 
@@ -148,8 +148,15 @@ impl BTrace {
         }
 
         if shrinking {
-            // Consumer grace period, then physically reclaim (§4.4).
-            shared.domain.synchronize();
+            // Consumer grace period, then physically reclaim (§4.4). Spelled
+            // as an advance-then-poll loop (rather than the blocking
+            // `Domain::synchronize`) so each wait iteration crosses the sync
+            // facade — under the model scheduler the spinning resizer keeps
+            // yielding to the pinned consumer it is waiting on.
+            let target = shared.domain.advance();
+            while !shared.domain.sweep_quiescent_at(target) {
+                crate::sync::spin_hint();
+            }
             if new_extent < old_extent {
                 shared.data.region().decommit(new_extent, old_extent - new_extent)?;
                 shared.committed_extent.store(new_extent, Ordering::SeqCst);

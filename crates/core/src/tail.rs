@@ -9,9 +9,8 @@
 
 use crate::buffer::Shared;
 use crate::event::{EntryHeader, EntryKind, Event, HEADER_BYTES};
+use crate::sync::{Arc, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
 
 /// One incremental poll's result.
 #[derive(Debug, Default)]

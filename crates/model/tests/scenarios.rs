@@ -1,0 +1,431 @@
+//! Model-checked scenarios for the btrace-core lock-free protocol.
+//!
+//! Every test explores hundreds of seeded interleavings (random-walk and
+//! PCT-style priority schedules) of a small tracer configuration and runs
+//! the invariant checkers after each execution. A failing schedule prints
+//! its seed; replay it with `BTRACE_MODEL_SEED=<seed>`.
+//!
+//! Scenario coverage maps to the paper's mechanisms:
+//!
+//! * closing (§3.2)            — `closing_bounds_staleness`
+//! * implicit reclaiming (§3.3) — `implicit_reclaiming_wraparound`
+//! * skipping (§3.4)           — `skipping_never_blocks`
+//! * advancement (§4.2)        — all scenarios (step budget = bounded
+//!   termination)
+//! * speculative consumer (§4.3) — `speculative_consumer_race`
+//! * resizing (§4.4)           — `resize_under_traffic`
+//! * ABA hazard (Rnd wraparound past a pinned grant) — `aba_round_wraparound`
+
+use btrace_core::{introspect, model_rt, BTrace, Backing, Config};
+use btrace_model::check::{
+    check_conservation, check_counter_coherence, check_effectivity_with_slack, check_pin,
+    MonotonicObserver,
+};
+use btrace_model::{explore, fingerprint, ModelConfig, Report, Sim};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Exactly-fitting payload: 8 payload bytes encode to 24 bytes, and a
+/// 256-byte block (16-byte block header + 240 usable) holds exactly 10
+/// entries — so sequential recording never leaves a partial tail.
+const PAYLOAD: &[u8; 8] = b"8bytes!!";
+
+fn assert_coverage(report: Report) {
+    if report.replay {
+        return; // a single-seed replay has nothing to say about coverage
+    }
+    assert!(
+        report.distinct >= 500,
+        "acceptance: need >= 500 distinct interleavings, got {} over {} schedules",
+        report.distinct,
+        report.schedules
+    );
+}
+
+/// §3.2 block closing: two cores interleave freely; closing keeps lagging
+/// blocks bounded and loses nothing. The configuration cannot wrap (events
+/// live in data blocks a full ratio-cycle away from any reachable
+/// candidate), so conservation is exact: every recorded stamp drains.
+#[test]
+fn closing_bounds_staleness() {
+    let report = explore("closing_bounds_staleness", ModelConfig::default(), |sim| {
+        let t = BTrace::new(
+            Config::new(2)
+                .active_blocks(4)
+                .block_bytes(256)
+                .buffer_bytes(256 * 4 * 4) // ratio 4, N = 16
+                .backing(Backing::Heap),
+        )
+        .unwrap();
+        let mut produced = BTreeSet::new();
+        for core in 0..2u64 {
+            for i in 0..15u64 {
+                produced.insert(core * 1000 + i);
+            }
+            let p = t.producer(core as usize).unwrap();
+            sim.thread(move || {
+                for i in 0..15u64 {
+                    p.record_with(core * 1000 + i, core as u32, PAYLOAD).unwrap();
+                }
+            });
+        }
+        sim.finally(move || {
+            let readout = t.consumer().collect();
+            check_conservation(&readout, &produced, true);
+            check_counter_coherence(&t);
+            check_effectivity_with_slack(&t, t.active_blocks() as u32);
+        });
+    });
+    assert_coverage(report);
+}
+
+/// §3.4 block skipping: a producer parked mid-write (open grant) pins its
+/// block; a sibling thread on the same core floods past it. Advancement
+/// must skip the pinned block (never block, never recycle it), and the
+/// grant's late commit must still surface in the drain.
+#[test]
+fn skipping_never_blocks() {
+    const FLOOD: u64 = 100; // 10 blocks on an N = 8 buffer: wraps past the pin
+    const HELD_STAMP: u64 = 9_999;
+    let report = explore("skipping_never_blocks", ModelConfig::default(), |sim| {
+        let t = BTrace::new(
+            Config::new(1)
+                .active_blocks(4)
+                .block_bytes(256)
+                .buffer_bytes(256 * 4 * 2) // ratio 2, N = 8
+                .max_bytes(256 * 4 * 8) // reserve: keeps the pinned block in scan range
+                .backing(Backing::Heap),
+        )
+        .unwrap();
+        let p = t.producer(0).unwrap();
+        let pinned = Arc::new(AtomicBool::new(false));
+        let flood_done = Arc::new(AtomicBool::new(false));
+
+        let holder = {
+            let t = t.clone();
+            let p = p.clone();
+            let pinned = Arc::clone(&pinned);
+            let flood_done = Arc::clone(&flood_done);
+            move || {
+                let grant = p.begin(PAYLOAD.len()).unwrap();
+                let (meta_idx, rnd, _) = introspect::mapping(&t, grant.gpos());
+                pinned.store(true, Ordering::SeqCst);
+                while !flood_done.load(Ordering::SeqCst) {
+                    check_pin(&t, meta_idx, rnd);
+                    model_rt::yield_spin();
+                }
+                check_pin(&t, meta_idx, rnd);
+                grant.commit(HELD_STAMP, 0, PAYLOAD).unwrap();
+            }
+        };
+        let flooder = {
+            let pinned = Arc::clone(&pinned);
+            let flood_done = Arc::clone(&flood_done);
+            move || {
+                // The scenario is about flooding *past a live pin* — wait for
+                // the grant, or a schedule that runs this thread first would
+                // flood an unpinned buffer and prove nothing.
+                while !pinned.load(Ordering::SeqCst) {
+                    model_rt::yield_spin();
+                }
+                for i in 0..FLOOD {
+                    p.record_with(i, 1, PAYLOAD).unwrap();
+                }
+                flood_done.store(true, Ordering::SeqCst);
+            }
+        };
+        sim.thread(holder);
+        sim.thread(flooder);
+
+        sim.finally(move || {
+            let produced: BTreeSet<u64> = (0..FLOOD).chain([HELD_STAMP]).collect();
+            let readout = t.consumer().collect();
+            check_conservation(&readout, &produced, false);
+            assert!(
+                readout.events.iter().any(|e| e.stamp() == HELD_STAMP),
+                "the late-committed grant's event was lost (block recycled under the pin?)"
+            );
+            assert!(
+                t.stats().skips >= 1,
+                "flooding past a pinned block must skip it at least once"
+            );
+            check_counter_coherence(&t);
+            check_effectivity_with_slack(&t, t.active_blocks() as u32);
+        });
+    });
+    assert_coverage(report);
+}
+
+/// §3.3 implicit reclaiming: a tiny buffer (N = 4) wraps several times
+/// under three writer threads (two sharing core 0 — the straggler-repair
+/// and advance-contention paths) while an observer thread snapshots the
+/// metadata counters at every interleaving, asserting they never regress
+/// (the counters double as reference counts; a lost update here is a
+/// reclaimed block with a live writer).
+#[test]
+fn implicit_reclaiming_wraparound() {
+    let report = explore("implicit_reclaiming_wraparound", ModelConfig::default(), |sim| {
+        let t = BTrace::new(
+            Config::new(2)
+                .active_blocks(2)
+                .block_bytes(256)
+                .buffer_bytes(256 * 2 * 2) // ratio 2, N = 4
+                .backing(Backing::Heap),
+        )
+        .unwrap();
+        let writers_left = Arc::new(std::sync::atomic::AtomicUsize::new(3));
+        let mut produced = BTreeSet::new();
+        for (writer, core) in [(0u64, 0usize), (1, 0), (2, 1)] {
+            for i in 0..20u64 {
+                produced.insert(writer * 1000 + i);
+            }
+            let p = t.producer(core).unwrap();
+            let writers_left = Arc::clone(&writers_left);
+            sim.thread(move || {
+                for i in 0..20u64 {
+                    p.record_with(writer * 1000 + i, writer as u32, PAYLOAD).unwrap();
+                }
+                writers_left.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        {
+            let t = t.clone();
+            sim.thread(move || {
+                let mut observer = MonotonicObserver::new();
+                while writers_left.load(Ordering::SeqCst) > 0 {
+                    observer.observe(&t);
+                    model_rt::yield_spin();
+                }
+                observer.observe(&t);
+            });
+        }
+        sim.finally(move || {
+            let readout = t.consumer().collect();
+            check_conservation(&readout, &produced, false);
+            check_counter_coherence(&t);
+        });
+    });
+    assert_coverage(report);
+}
+
+/// §4.4 resizing under traffic: grow then shrink while two cores record.
+/// Recording never fails, the drain stays coherent, and capacity lands on
+/// the final target.
+#[test]
+fn resize_under_traffic() {
+    let report = explore("resize_under_traffic", ModelConfig::default(), |sim| {
+        let stride = 256 * 2; // block_bytes * active_blocks
+        let t = BTrace::new(
+            Config::new(2)
+                .active_blocks(2)
+                .block_bytes(256)
+                .buffer_bytes(stride * 2) // ratio 2, N = 4
+                .max_bytes(stride * 8) // up to ratio 8
+                .backing(Backing::Heap),
+        )
+        .unwrap();
+        let mut produced = BTreeSet::new();
+        for core in 0..2u64 {
+            for i in 0..15u64 {
+                produced.insert(core * 1000 + i);
+            }
+            let p = t.producer(core as usize).unwrap();
+            sim.thread(move || {
+                for i in 0..15u64 {
+                    p.record_with(core * 1000 + i, core as u32, PAYLOAD).unwrap();
+                }
+            });
+        }
+        {
+            let t = t.clone();
+            sim.thread(move || {
+                t.resize_bytes(stride * 4).unwrap(); // grow to N = 8
+                t.resize_bytes(stride).unwrap(); // shrink to N = 2
+            });
+        }
+        sim.finally(move || {
+            assert_eq!(t.capacity_blocks(), 2, "capacity must land on the final target");
+            assert_eq!(t.stats().resizes, 2);
+            let readout = t.consumer().collect();
+            check_conservation(&readout, &produced, false);
+            check_counter_coherence(&t);
+        });
+    });
+    assert_coverage(report);
+}
+
+/// §4.3 speculative consumer: a modeled reader races a producer across more
+/// than two full buffer rounds. Payloads mirror their stamps, so a torn
+/// read (parsing bytes of two different rounds as one entry) or a
+/// duplicated event is detectable inside every poll.
+#[test]
+fn speculative_consumer_race() {
+    const TOTAL: u64 = 180; // 18 blocks on an N = 8 buffer: > 2 full rounds
+    let report = explore("speculative_consumer_race", ModelConfig::default(), |sim| {
+        let t = BTrace::new(
+            Config::new(1)
+                .active_blocks(4)
+                .block_bytes(256)
+                .buffer_bytes(256 * 4 * 2) // ratio 2, N = 8
+                .max_bytes(256 * 4 * 8)
+                .backing(Backing::Heap),
+        )
+        .unwrap();
+        let p = t.producer(0).unwrap();
+        let writer_done = Arc::new(AtomicBool::new(false));
+
+        {
+            let writer_done = Arc::clone(&writer_done);
+            sim.thread(move || {
+                for i in 0..TOTAL {
+                    p.record_with(i, 0, &i.to_le_bytes()).unwrap();
+                }
+                writer_done.store(true, Ordering::SeqCst);
+            });
+        }
+        {
+            let t = t.clone();
+            sim.thread(move || {
+                let mut consumer = t.consumer();
+                loop {
+                    let done_before = writer_done.load(Ordering::SeqCst);
+                    let readout = consumer.collect();
+                    let mut seen = BTreeSet::new();
+                    for e in &readout.events {
+                        assert!(e.stamp() < TOTAL, "invented stamp {}", e.stamp());
+                        assert_eq!(
+                            e.payload(),
+                            e.stamp().to_le_bytes(),
+                            "torn event: stamp {} with mismatched payload",
+                            e.stamp()
+                        );
+                        assert!(
+                            seen.insert(e.stamp()),
+                            "stamp {} duplicated in one poll",
+                            e.stamp()
+                        );
+                    }
+                    if done_before {
+                        return;
+                    }
+                    model_rt::yield_spin();
+                }
+            });
+        }
+        sim.finally(move || {
+            let produced: BTreeSet<u64> = (0..TOTAL).collect();
+            let readout = t.consumer().collect();
+            check_conservation(&readout, &produced, false);
+            assert!(
+                readout.events.iter().any(|e| e.stamp() == TOTAL - 1),
+                "the newest event must always be retained"
+            );
+            check_counter_coherence(&t);
+        });
+    });
+    assert_coverage(report);
+}
+
+/// ABA hazard probe (satellite): pin a producer mid-write, then push enough
+/// traffic that — were the pin ever ignored — the metadata block's `Rnd`
+/// counter would wrap through more than a full `Ratio` round and recycle
+/// the pinned data block. `check_pin` fires at every interleaving point if
+/// the round ever advances past the open grant; the final drain proves the
+/// late commit survived the wraparound pressure intact.
+#[test]
+fn aba_round_wraparound() {
+    const FLOOD: u64 = 160; // 16 blocks: 4 full ratio rounds on N = 4
+    const HELD_STAMP: u64 = 77_777;
+    let report = explore("aba_round_wraparound", ModelConfig::default(), |sim| {
+        let t = BTrace::new(
+            Config::new(1)
+                .active_blocks(2)
+                .block_bytes(256)
+                .buffer_bytes(256 * 2 * 2) // ratio 2, N = 4
+                .max_bytes(256 * 2 * 16) // reserve: pinned block stays in scan range
+                .backing(Backing::Heap),
+        )
+        .unwrap();
+        let p = t.producer(0).unwrap();
+        let pinned = Arc::new(AtomicBool::new(false));
+        let flood_done = Arc::new(AtomicBool::new(false));
+
+        {
+            let t = t.clone();
+            let p = p.clone();
+            let pinned = Arc::clone(&pinned);
+            let flood_done = Arc::clone(&flood_done);
+            sim.thread(move || {
+                let grant = p.begin(PAYLOAD.len()).unwrap();
+                let (meta_idx, rnd, _) = introspect::mapping(&t, grant.gpos());
+                pinned.store(true, Ordering::SeqCst);
+                while !flood_done.load(Ordering::SeqCst) {
+                    // The whole point: across a full Rnd wraparound's worth
+                    // of traffic, the pinned round must never move.
+                    check_pin(&t, meta_idx, rnd);
+                    model_rt::yield_spin();
+                }
+                check_pin(&t, meta_idx, rnd);
+                grant.commit(HELD_STAMP, 0, PAYLOAD).unwrap();
+            });
+        }
+        {
+            let pinned = Arc::clone(&pinned);
+            let flood_done = Arc::clone(&flood_done);
+            sim.thread(move || {
+                while !pinned.load(Ordering::SeqCst) {
+                    model_rt::yield_spin();
+                }
+                for i in 0..FLOOD {
+                    p.record_with(i, 1, PAYLOAD).unwrap();
+                }
+                flood_done.store(true, Ordering::SeqCst);
+            });
+        }
+        sim.finally(move || {
+            let produced: BTreeSet<u64> = (0..FLOOD).chain([HELD_STAMP]).collect();
+            let readout = t.consumer().collect();
+            check_conservation(&readout, &produced, false);
+            let held: Vec<_> = readout.events.iter().filter(|e| e.stamp() == HELD_STAMP).collect();
+            assert_eq!(held.len(), 1, "the pinned grant's event must survive exactly once");
+            assert_eq!(held[0].payload(), PAYLOAD);
+            assert!(t.stats().skips >= 1, "the pinned block must have been skipped");
+            check_counter_coherence(&t);
+        });
+    });
+    assert_coverage(report);
+}
+
+/// Determinism contract: the same seed reproduces the identical
+/// interleaving (fingerprint of every scheduling decision), across
+/// separately constructed executions.
+#[test]
+fn same_seed_same_interleaving() {
+    let scenario = |sim: &mut Sim| {
+        let t = BTrace::new(
+            Config::new(2)
+                .active_blocks(2)
+                .block_bytes(256)
+                .buffer_bytes(256 * 2 * 2)
+                .backing(Backing::Heap),
+        )
+        .unwrap();
+        for core in 0..2 {
+            let p = t.producer(core).unwrap();
+            sim.thread(move || {
+                for i in 0..10u64 {
+                    p.record_with(i, core as u32, PAYLOAD).unwrap();
+                }
+            });
+        }
+    };
+    for seed in [1u64, 0xDEAD_BEEF, u64::MAX - 7] {
+        let a = fingerprint(scenario, seed, 400_000);
+        let b = fingerprint(scenario, seed, 400_000);
+        assert_eq!(a, b, "seed {seed:#x} diverged between runs");
+    }
+    let x = fingerprint(scenario, 2, 400_000);
+    let y = fingerprint(scenario, 3, 400_000);
+    assert_ne!(x, y, "different seeds should (virtually always) diverge");
+}

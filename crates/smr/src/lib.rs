@@ -101,7 +101,7 @@ impl Domain {
     pub fn synchronize(&self) {
         let target = self.advance();
         let mut spins = 0u32;
-        while !self.sweep_and_check(target) {
+        while !self.sweep_quiescent_at(target) {
             spins += 1;
             if spins < 64 {
                 std::hint::spin_loop();
@@ -129,7 +129,12 @@ impl Domain {
     /// Like [`Domain::quiescent_at`], but also drops registry entries whose
     /// [`Participant`] has been dropped, so leaked threads cannot wedge the
     /// shrinker.
-    fn sweep_and_check(&self, target: u64) -> bool {
+    ///
+    /// Public so callers that must not block inside this crate (e.g. a
+    /// cooperative scheduler that needs every wait iteration to be a yield
+    /// point) can spell [`Domain::synchronize`] as `advance` + their own
+    /// polling loop around this check.
+    pub fn sweep_quiescent_at(&self, target: u64) -> bool {
         let mut participants =
             self.inner.participants.lock().expect("participant registry poisoned");
         participants.retain(|slot| Arc::strong_count(slot) > 1);

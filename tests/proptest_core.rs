@@ -156,6 +156,116 @@ proptest! {
         prop_assert_eq!(readout.events[0].tid(), 3);
     }
 
+    /// Skip rate is monotone in preemption pressure (§3.4): the same flood
+    /// against 0..=3 producers parked mid-write can only skip more blocks as
+    /// more metadata blocks are pinned — and with nothing pinned it skips
+    /// none at all.
+    #[test]
+    fn skip_rate_monotonic_under_preemption(ratio in 2usize..5, rounds in 1usize..4) {
+        let active = 4;
+        let blocks = active * ratio;
+        let mut last_skips = None;
+        for held_count in 0..=3usize {
+            let t = tracer(1, active, ratio);
+            let p = t.producer(0).unwrap();
+            // Pin `held_count` distinct blocks: take a grant, then fill the
+            // rest of its 10-entry block so the next grant lands in a fresh
+            // one. (256-byte block = 16-byte header + 10 exact-fit entries.)
+            let mut held = Vec::new();
+            for _ in 0..held_count {
+                held.push(p.begin(8).unwrap());
+                for _ in 0..9 {
+                    p.record_with(0, 0, &[0u8; 8]).unwrap();
+                }
+            }
+            for i in 0..(rounds * blocks * 10) as u64 {
+                p.record_with(i, 0, &[0u8; 8]).unwrap();
+            }
+            let skips = t.stats().skips;
+            if held_count == 0 {
+                prop_assert_eq!(skips, 0, "skips without any pinned block");
+            }
+            if let Some(prev) = last_skips {
+                prop_assert!(
+                    skips >= prev,
+                    "skip count fell from {prev} to {skips} as pins grew to {held_count}"
+                );
+            }
+            last_skips = Some(skips);
+            drop(held); // abandon: dummy-confirmed, harmless
+        }
+    }
+
+    /// Conservation across a shrink (§4.4): events recorded before and after
+    /// shrinking drain without invention or duplication, and the newest
+    /// event survives the capacity cut.
+    #[test]
+    fn drain_after_shrink_conserves_events(
+        before in 1usize..250,
+        after in 1usize..250,
+        hi in 3usize..6,
+        lo in 1usize..3,
+    ) {
+        let t = tracer(1, 4, hi);
+        for i in 0..before {
+            let payload = vec![0xABu8; (i * 7) % 60];
+            t.producer(0).unwrap().record_with(i as u64, 0, &payload).unwrap();
+        }
+        t.resize_bytes(BLOCK * 4 * lo).unwrap();
+        for i in before..before + after {
+            let payload = vec![0xCDu8; (i * 7) % 60];
+            t.producer(0).unwrap().record_with(i as u64, 0, &payload).unwrap();
+        }
+        let total = (before + after) as u64;
+        let readout = t.consumer().collect();
+        let mut stamps: Vec<u64> = readout.events.iter().map(|e| e.stamp()).collect();
+        for &s in &stamps {
+            prop_assert!(s < total, "drained stamp {s} was never recorded");
+        }
+        prop_assert!(stamps.contains(&(total - 1)), "newest event lost across the shrink");
+        stamps.sort_unstable();
+        let len_before = stamps.len();
+        stamps.dedup();
+        prop_assert_eq!(len_before, stamps.len(), "duplicate stamps after shrink");
+    }
+
+    /// The §3.2 effectivity bound holds across random geometries and
+    /// preemption pressure: with exact-fit entries (no tail waste), closing
+    /// waste keeps the effectivity ratio at or above `1 − A/N`.
+    #[test]
+    fn effectivity_ratio_meets_analytic_bound(
+        active in 2usize..6,
+        ratio in 2usize..5,
+        held in 0usize..3,
+    ) {
+        let held_count = held.min(active - 1);
+        let t = tracer(1, active, ratio);
+        let p = t.producer(0).unwrap();
+        let mut grants = Vec::new();
+        for _ in 0..held_count {
+            grants.push(p.begin(8).unwrap());
+            for _ in 0..9 {
+                p.record_with(0, 0, &[0u8; 8]).unwrap();
+            }
+        }
+        let blocks = active * ratio;
+        for i in 0..(2 * blocks * 10) as u64 {
+            p.record_with(i, 0, &[0u8; 8]).unwrap();
+        }
+        for grant in grants {
+            grant.commit(1, 0, &[0u8; 8]).unwrap();
+        }
+        let stats = t.stats();
+        let bound = 1.0 - active as f64 / blocks as f64;
+        prop_assert!(
+            stats.effectivity_ratio() + 1e-9 >= bound,
+            "effectivity {} below 1 - A/N = {bound} (recorded={}, dummy={})",
+            stats.effectivity_ratio(),
+            stats.recorded_bytes,
+            stats.dummy_bytes
+        );
+    }
+
     /// Concurrent multi-core traffic: drained events are exactly a subset of
     /// written ones, intact, and the per-core newest survives.
     #[test]
