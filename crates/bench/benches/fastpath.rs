@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the cached-descriptor fast path: the
+//! `Producer::record_with` handle path (cached block descriptor, no
+//! core-local load, no gpos mapping) against the uncached `TraceSink`
+//! path, plus the two-phase `begin`/`commit` variant — the three shapes a
+//! mobile trace point can take.
+
+use btrace_bench::harness::btrace;
+use btrace_core::sink::TraceSink;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const PAYLOAD: &[u8] = b"sched: prev=1234 next=5678 flag";
+
+fn bench_record_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fastpath");
+    group.throughput(Throughput::Elements(1));
+
+    {
+        // Cached descriptor: the handle skips the core-local load and the
+        // gpos mapping on every hit.
+        let tracer = btrace();
+        tracer.set_record_timing(None);
+        let producer = tracer.producer(0).expect("core 0 exists");
+        let mut stamp = 0u64;
+        group.bench_function(BenchmarkId::from_parameter("producer_cached"), |b| {
+            b.iter(|| {
+                stamp += 1;
+                producer.record_with(stamp, 1, PAYLOAD)
+            })
+        });
+    }
+    {
+        // Uncached sink path: reloads the core-local word and remaps the
+        // gpos per record — the pre-overhaul shape, kept for comparison.
+        let tracer = btrace();
+        tracer.set_record_timing(None);
+        let mut stamp = 0u64;
+        group.bench_function(BenchmarkId::from_parameter("sink_uncached"), |b| {
+            b.iter(|| {
+                stamp += 1;
+                tracer.record(0, 1, stamp, PAYLOAD)
+            })
+        });
+    }
+    {
+        // Two-phase grant path (allocate now, commit later).
+        let tracer = btrace();
+        tracer.set_record_timing(None);
+        let producer = tracer.producer(0).expect("core 0 exists");
+        let mut stamp = 0u64;
+        group.bench_function(BenchmarkId::from_parameter("begin_commit"), |b| {
+            b.iter(|| {
+                stamp += 1;
+                let grant = producer.begin(PAYLOAD.len()).expect("payload fits");
+                grant.commit(stamp, 1, PAYLOAD)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_record_paths);
+criterion_main!(benches);

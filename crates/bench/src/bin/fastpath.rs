@@ -1,0 +1,103 @@
+//! Measures the record fast path after the cached-descriptor overhaul and
+//! writes `BENCH_fastpath.json`.
+//!
+//! Two experiments:
+//!
+//! * **single** — ns per `record_with` for one producer (the number the
+//!   telemetry bench previously put at 63.71 ns with timing off); best of
+//!   several interleaved rounds.
+//! * **scaling** — 1/2/4/8 producers on distinct cores hammering the same
+//!   tracer; reports ns per record normalized by total records. The paper's
+//!   claim is per-core recording performance out of a shared buffer, so
+//!   the per-record cost should stay roughly flat as producers are added
+//!   (on hosts with that many physical cores; see `host_cpus` in the
+//!   output — a 1-CPU container serializes the threads and the scaling
+//!   numbers measure scheduler churn, not contention).
+
+use btrace_bench::harness::btrace;
+use std::time::Instant;
+
+const PAYLOAD: &[u8] = b"sched: prev=1234 next=5678 flag";
+const ITERS: u64 = 2_000_000;
+const ROUNDS: usize = 9;
+const SCALE_ITERS: u64 = 500_000;
+
+fn single_producer_ns() -> f64 {
+    let tracer = btrace();
+    tracer.set_record_timing(None);
+    let producer = tracer.producer(0).expect("core 0 exists");
+    let mut stamp = 0u64;
+    let mut best = f64::INFINITY;
+    for round in 0..=ROUNDS {
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            stamp += 1;
+            producer.record_with(stamp, 1, PAYLOAD).expect("payload fits");
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+        if round > 0 {
+            best = best.min(ns);
+        }
+    }
+    best
+}
+
+fn scaling_ns(producers: usize) -> f64 {
+    let tracer = btrace();
+    tracer.set_record_timing(None);
+    let mut best = f64::INFINITY;
+    for round in 0..3 {
+        let t0 = Instant::now();
+        let threads: Vec<_> = (0..producers)
+            .map(|core| {
+                let p = tracer.producer(core).expect("core in range");
+                std::thread::spawn(move || {
+                    for i in 0..SCALE_ITERS {
+                        p.record_with(i, core as u32, PAYLOAD).expect("payload fits");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("producer thread");
+        }
+        let total = SCALE_ITERS * producers as u64;
+        let ns = t0.elapsed().as_nanos() as f64 / total as f64;
+        if round > 0 {
+            best = best.min(ns);
+        }
+    }
+    best
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let single = single_producer_ns();
+    let scaling: Vec<(usize, f64)> =
+        [1usize, 2, 4, 8].iter().map(|&n| (n, scaling_ns(n))).collect();
+    let flat_base = scaling[0].1;
+    let scaling_json: Vec<String> = scaling
+        .iter()
+        .map(|(n, ns)| {
+            format!(
+                "    {{\"producers\": {n}, \"ns_per_record\": {ns:.2}, \"vs_1p_pct\": {:.2}}}",
+                (ns / flat_base - 1.0) * 100.0
+            )
+        })
+        .collect();
+    let baseline = 63.71; // BENCH_telemetry.json timing_off_ns before this change
+    let json = format!(
+        "{{\n  \"bench\": \"record_with 31B payload, ns per record (best of {ROUNDS} rounds of {ITERS})\",\n  \
+           \"single_producer_ns\": {single:.2},\n  \
+           \"baseline_single_producer_ns\": {baseline:.2},\n  \
+           \"reduction_pct\": {:.2},\n  \
+           \"scaling\": [\n{}\n  ],\n  \
+           \"host_cpus\": {host_cpus},\n  \
+           \"note\": \"scaling flatness is only meaningful when host_cpus >= producers; on a smaller host the threads time-share one core and the figure measures scheduler churn\"\n}}\n",
+        (1.0 - single / baseline) * 100.0,
+        scaling_json.join(",\n"),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_fastpath.json", &json).expect("write BENCH_fastpath.json");
+    eprintln!("wrote BENCH_fastpath.json");
+}

@@ -47,8 +47,16 @@ impl Shared {
         self.cfg.active_blocks
     }
 
+    /// Current global `(ratio, pos)`.
+    ///
+    /// Ordering: `Acquire`, not `SeqCst`. The only writers are the advance
+    /// fetch-and-add (position only) and the resize CAS, and resizes are
+    /// serialized by `resize_lock` — no reader needs a total order over
+    /// independent writes, only the happens-before edge from the resize
+    /// that published the ratio it reads (committed pages, history entry),
+    /// which acquire/release provides.
     pub(crate) fn global_pos(&self) -> RatioPos {
-        RatioPos::from_raw(self.global.load(Ordering::SeqCst))
+        RatioPos::from_raw(self.global.load(Ordering::Acquire))
     }
 
     pub(crate) fn global_raw(&self) -> &AtomicU64 {
@@ -111,7 +119,7 @@ impl Shared {
     /// `meta_idx` instead of the expected round (§3.4): the space is validly
     /// owned, so fill it with dummy data and confirm it. The unconfirmed
     /// in-capacity bytes pinned the round, which is what makes this safe.
-    fn repair_straggler(&self, meta_idx: usize, actual: RndPos, need: u32) {
+    pub(crate) fn repair_straggler(&self, meta_idx: usize, actual: RndPos, need: u32) {
         self.counters.bump(&self.counters.straggler_repairs);
         let cap = self.cap();
         if actual.pos >= cap {
@@ -119,23 +127,31 @@ impl Shared {
         }
         let fill = need.min(cap - actual.pos);
         let gpos = actual.rnd as u64 * self.active() as u64 + meta_idx as u64;
-        let map = self.history.map(gpos, self.active());
+        let map = self.history.map(gpos);
         self.write_dummy_run(map.data_idx, actual.pos, fill);
         self.metas[meta_idx].confirm(fill);
     }
 
-    /// Fast path: allocate `need` bytes on `core`, advancing blocks as
-    /// required. Returns the granted range.
+    /// Uncached allocation path: allocate `need` bytes on `core`, advancing
+    /// blocks as required. Returns the granted range. `Producer` handles
+    /// carry a cached descriptor and only land here to refresh it; the
+    /// `TraceSink` impl and the slow paths use this directly.
     pub(crate) fn allocate(&self, core: usize, need: u32) -> Granted {
         loop {
-            let local = self.core_local(core);
-            let map = map_gpos(local.pos, self.active(), local.ratio);
+            // Relaxed: the value is *validated*, not trusted — `alloc` is an
+            // acquire RMW whose round check catches any stale view (a torn
+            // or outdated read degrades to Stale/Exhausted and retries), so
+            // no ordering is needed on the read itself.
+            let local = RatioPos::from_raw(self.core_local[core].load(Ordering::Relaxed));
+            let map = self.cfg.map_live(local.pos, local.ratio);
             let meta = &self.metas[map.meta_idx];
             match meta.alloc(map.rnd, need, self.cap()) {
                 Alloc::Fits { pos } => {
                     return Granted {
                         gpos: local.pos,
+                        rnd: map.rnd,
                         meta_idx: map.meta_idx,
+                        data_idx: map.data_idx,
                         data_off: self.data.block_offset(map.data_idx),
                         offset: pos,
                         len: need,
@@ -184,12 +200,19 @@ impl Shared {
             if self.core_local(core) != expected {
                 return; // another thread of this core already advanced (§4.2 step ⑧ failure)
             }
-            // ① find a candidate block
-            let g = RatioPos::from_raw(self.global.fetch_add(1, Ordering::AcqRel));
-            if g.pos < self.resize_floor.load(Ordering::SeqCst) {
+            // ① find a candidate block.
+            //
+            // Ordering: `Acquire`, not `AcqRel`. The acquire side is needed —
+            // if the claimed gpos carries a ratio published by a resize, we
+            // must also see that resize's committed pages and history entry.
+            // The release side is not: claiming a candidate publishes
+            // nothing; the block becomes visible to others only through the
+            // `lock` CAS and `confirm` below, which carry their own release.
+            let g = RatioPos::from_raw(self.global.fetch_add(1, Ordering::Acquire));
+            if g.pos < self.resize_floor.load(Ordering::Acquire) {
                 continue; // invalidated by a concurrent resize
             }
-            let map = map_gpos(g.pos, self.active(), g.ratio);
+            let map = self.cfg.map_live(g.pos, g.ratio);
             let meta = &self.metas[map.meta_idx];
 
             // ②③ the candidate reuses this metadata block: its previous round
@@ -203,7 +226,7 @@ impl Shared {
                 // the remainder.
                 if let Close::Fill { rnd, pos } = meta.close(conf.rnd, cap) {
                     let lag_gpos = rnd as u64 * self.active() as u64 + map.meta_idx as u64;
-                    let lag_map = self.history.map(lag_gpos, self.active());
+                    let lag_map = self.history.map(lag_gpos);
                     self.write_dummy_run(lag_map.data_idx, pos, cap - pos);
                     meta.confirm(cap - pos);
                     self.counters.bump(&self.counters.closes);
@@ -235,7 +258,15 @@ impl Shared {
             // re-check after the lock so the resizer's metadata scan cannot
             // miss us. Undo by refilling the round so the block stays
             // recyclable.
-            if g.pos < self.resize_floor.load(Ordering::SeqCst) {
+            //
+            // Ordering: `Acquire` suffices for both floor loads. A racing
+            // resizer that published the floor *after* we loaded it cannot
+            // lose us: its drain loop waits on every metadata block's
+            // confirm, and our round stays unconfirmed until we either
+            // refill it here or hand it to the core, so the drain observes
+            // the outcome either way (the backstop the SeqCst fence was
+            // redundantly duplicating).
+            if g.pos < self.resize_floor.load(Ordering::Acquire) {
                 meta.reset_allocated(map.rnd, cap);
                 self.write_dummy_run(map.data_idx, 0, cap);
                 meta.confirm(cap);
@@ -279,11 +310,15 @@ impl Shared {
     }
 }
 
-/// A granted byte range inside a data block.
+/// A granted byte range inside a data block, carrying the full mapping of
+/// the block it lives in so `Producer` can seed its cached descriptor
+/// without re-mapping.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Granted {
     pub gpos: u64,
+    pub rnd: u32,
     pub meta_idx: usize,
+    pub data_idx: u64,
     pub data_off: usize,
     pub offset: u32,
     pub len: u32,
@@ -352,7 +387,7 @@ impl BTrace {
             capacity_blocks: AtomicU64::new(cfg.data_blocks() as u64),
             resize_floor: AtomicU64::new(0),
             committed_extent: AtomicUsize::new(extent),
-            history: RatioHistory::new(cfg.ratio),
+            history: RatioHistory::new(cfg.ratio, cfg.active_blocks, cfg.a_div),
             stamp_clock: CachePadded::new(AtomicU64::new(0)),
             counters: Counters::new(cfg.cores),
             #[cfg(feature = "telemetry")]
@@ -439,8 +474,12 @@ impl BTrace {
     }
 
     /// Current number of data blocks `N`.
+    ///
+    /// Ordering: `Acquire` — pairs with the resizer's release store under
+    /// `resize_lock`; no total order over resizes is needed because they
+    /// are mutually exclusive.
     pub fn capacity_blocks(&self) -> usize {
-        self.shared.capacity_blocks.load(Ordering::SeqCst) as usize
+        self.shared.capacity_blocks.load(Ordering::Acquire) as usize
     }
 
     /// Number of active blocks `A` (fixed at construction).

@@ -2,6 +2,7 @@
 
 use crate::error::TraceError;
 use crate::event::{ENTRY_ALIGN, HEADER_BYTES};
+use crate::layout::{map_gpos_div, Divider, Mapping};
 use btrace_vmem::Backing;
 
 /// Smallest permitted data block (must hold a block header plus one entry).
@@ -134,6 +135,9 @@ impl Config {
                 self.block_bytes
             ));
         }
+        if active as u64 >= 1 << 32 {
+            return err(format!("active_blocks ({active}) exceeds the 32-bit mapping range"));
+        }
         Ok(Resolved {
             cores: self.cores,
             block_bytes: self.block_bytes,
@@ -141,6 +145,10 @@ impl Config {
             ratio: ratio as u16,
             max_ratio: (max_bytes / stride) as u16,
             backing: self.backing,
+            // Reciprocals precomputed once so the gpos mapping never pays a
+            // hardware divide (layout::Divider).
+            a_div: Divider::new(active as u64),
+            ratio_div: Divider::new(ratio as u64),
         })
     }
 }
@@ -156,6 +164,10 @@ pub(crate) struct Resolved {
     /// `N_max / A`; the reservation is `max_ratio * active_blocks * block_bytes`.
     pub max_ratio: u16,
     pub backing: Backing,
+    /// Divider by `active_blocks`, precomputed at resolve time.
+    pub a_div: Divider,
+    /// Divider by the *initial* `ratio`, precomputed at resolve time.
+    ratio_div: Divider,
 }
 
 impl Resolved {
@@ -165,6 +177,22 @@ impl Resolved {
 
     pub fn max_bytes(&self) -> usize {
         self.max_ratio as usize * self.active_blocks * self.block_bytes
+    }
+
+    /// Division-free `gpos` mapping under a live `ratio` read from a
+    /// `ratio_and_pos` word. The precomputed divider covers the initial
+    /// ratio; after a resize the live ratio differs and a divider is built
+    /// on the fly — free for power-of-two ratios (the common geometry) and
+    /// one `u128` division otherwise, paid only on the uncached slow path
+    /// (the cached producer descriptor never maps).
+    #[inline]
+    pub(crate) fn map_live(&self, gpos: u64, ratio: u16) -> Mapping {
+        if ratio == self.ratio {
+            map_gpos_div(gpos, self.active_blocks, &self.a_div, ratio, &self.ratio_div)
+        } else {
+            let r_div = Divider::new(ratio as u64);
+            map_gpos_div(gpos, self.active_blocks, &self.a_div, ratio, &r_div)
+        }
     }
 }
 

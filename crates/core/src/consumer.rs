@@ -98,12 +98,12 @@ impl Consumer {
         let cap = shared.cap();
         for core in 0..shared.cfg.cores {
             let local = shared.core_local(core);
-            let map = shared.history.map(local.pos, shared.active());
+            let map = shared.history.map(local.pos);
             if let crate::meta::Close::Fill { rnd, pos } =
                 shared.metas[map.meta_idx].close(map.rnd, cap)
             {
                 let gpos = rnd as u64 * shared.active() as u64 + map.meta_idx as u64;
-                let lag = shared.history.map(gpos, shared.active());
+                let lag = shared.history.map(gpos);
                 shared.write_dummy_run(lag.data_idx, pos, cap - pos);
                 shared.metas[map.meta_idx].confirm(cap - pos);
             }
@@ -114,10 +114,13 @@ impl Consumer {
 
 fn read_block(shared: &Shared, scratch: &mut Vec<u8>, gpos: u64, out: &mut Readout) {
     let cap = shared.cap() as usize;
-    let map = shared.history.map(gpos, shared.active());
+    let map = shared.history.map(gpos);
     // Respect the live capacity bound: blocks beyond it may be
     // decommitted by a shrink that published the bound before our pin.
-    if map.data_idx >= shared.capacity_blocks.load(Ordering::SeqCst) {
+    // Acquire pairs with the shrinker's release store, which happens
+    // before the EBR grace period our pin participates in — SeqCst added
+    // nothing on top of that edge.
+    if map.data_idx >= shared.capacity_blocks.load(Ordering::Acquire) {
         out.blocks.recycled += 1;
         return;
     }

@@ -19,6 +19,7 @@
 //! the fast path never consult the history — they carry the live ratio in
 //! their core-local `ratio_and_pos`.
 
+use crate::packed::POS_BITS;
 use std::sync::RwLock;
 
 /// Where a global sequence number lives.
@@ -32,7 +33,74 @@ pub(crate) struct Mapping {
     pub data_idx: u64,
 }
 
-/// Computes the mapping for `gpos` under `ratio`.
+/// Sentinel in [`Divider::shift`]: the divisor is not a power of two.
+const NOT_POW2: u32 = u32::MAX;
+
+/// Bits of the fixed-point reciprocal in [`Divider`]. With dividends below
+/// `2^48` (the `RatioPos` position width) and divisors below `2^32`, 80
+/// fraction bits make the reciprocal multiplication exact (proof at
+/// [`Divider::new`]).
+const RECIP_BITS: u32 = 80;
+
+/// Division by a fixed divisor without a hardware divide: a shift for
+/// power-of-two divisors, otherwise a Granlund–Montgomery-style reciprocal
+/// multiplication. On the in-order ARM cores the paper targets, `udiv` is
+/// 10+ cycles and not pipelined; the multiply path is 2 dependent `mul`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Divider {
+    d: u64,
+    /// `d.trailing_zeros()` when `d` is a power of two, else [`NOT_POW2`].
+    shift: u32,
+    /// `⌊2^80 / d⌋ + 1`; unused (zero) on the power-of-two path.
+    magic: u128,
+}
+
+impl Divider {
+    /// Precomputes the reciprocal of `d` (`1 <= d < 2^32`).
+    ///
+    /// Exactness: let `m = ⌊2^80/d⌋ + 1` and `e = m·d − 2^80`, so
+    /// `0 < e <= d`. Then `m·n / 2^80 = n/d + e·n/(d·2^80)`, and the error
+    /// term is at most `n/2^80 < 2^-32` for `n < 2^48`. The floor can only
+    /// differ if `frac(n/d) >= 1 − 2^-32`, which needs
+    /// `n mod d >= d − d·2^-32`; with `n mod d <= d − 1` that requires
+    /// `d >= 2^32`. Hence `⌊m·n / 2^80⌋ = ⌊n/d⌋` exactly. The `u128`
+    /// product cannot overflow: the smallest non-power-of-two divisor is 3,
+    /// so `m < 2^79` and `n·m < 2^127`.
+    pub(crate) fn new(d: u64) -> Self {
+        assert!((1..1u64 << 32).contains(&d), "divisor out of range: {d}");
+        if d.is_power_of_two() {
+            // Power-of-two fast case: no magic needed, construction is free.
+            Self { d, shift: d.trailing_zeros(), magic: 0 }
+        } else {
+            Self { d, shift: NOT_POW2, magic: ((1u128 << RECIP_BITS) / d as u128) + 1 }
+        }
+    }
+
+    /// `n / d` for `n < 2^48`.
+    #[inline]
+    pub(crate) fn div(&self, n: u64) -> u64 {
+        debug_assert!(n < 1 << POS_BITS, "dividend exceeds the 48-bit position width");
+        if self.shift != NOT_POW2 {
+            n >> self.shift
+        } else {
+            ((n as u128 * self.magic) >> RECIP_BITS) as u64
+        }
+    }
+
+    /// `n % d` for `n < 2^48`.
+    #[inline]
+    pub(crate) fn rem(&self, n: u64) -> u64 {
+        if self.shift != NOT_POW2 {
+            n & (self.d - 1)
+        } else {
+            n - self.div(n) * self.d
+        }
+    }
+}
+
+/// Computes the mapping for `gpos` under `ratio` with hardware division —
+/// the readable reference used at construction and in tests. Hot callers go
+/// through [`map_gpos_div`].
 pub(crate) fn map_gpos(gpos: u64, active_blocks: usize, ratio: u16) -> Mapping {
     debug_assert!(ratio >= 1);
     let a = active_blocks as u64;
@@ -40,6 +108,27 @@ pub(crate) fn map_gpos(gpos: u64, active_blocks: usize, ratio: u16) -> Mapping {
     debug_assert!(rnd64 <= u32::MAX as u64, "round counter exceeded 32 bits");
     let meta_idx = (gpos % a) as usize;
     let data_idx = (rnd64 % ratio as u64) * a + meta_idx as u64;
+    Mapping { meta_idx, rnd: rnd64 as u32, data_idx }
+}
+
+/// Division-free twin of [`map_gpos`]: `a_div` divides by `active_blocks`
+/// and `r_div` by `ratio`, both precomputed away from the fast path.
+#[inline]
+pub(crate) fn map_gpos_div(
+    gpos: u64,
+    active_blocks: usize,
+    a_div: &Divider,
+    ratio: u16,
+    r_div: &Divider,
+) -> Mapping {
+    debug_assert!(ratio >= 1);
+    debug_assert_eq!(a_div.d, active_blocks as u64);
+    debug_assert_eq!(r_div.d, ratio as u64);
+    let a = active_blocks as u64;
+    let rnd64 = a_div.div(gpos);
+    debug_assert!(rnd64 <= u32::MAX as u64, "round counter exceeded 32 bits");
+    let meta_idx = (gpos - rnd64 * a) as usize;
+    let data_idx = r_div.rem(rnd64) * a + meta_idx as u64;
     Mapping { meta_idx, rnd: rnd64 as u32, data_idx }
 }
 
@@ -54,35 +143,58 @@ pub(crate) fn map_gpos(gpos: u64, active_blocks: usize, ratio: u16) -> Mapping {
 /// acquisition cannot deadlock a modeled execution.
 #[derive(Debug)]
 pub(crate) struct RatioHistory {
-    entries: RwLock<Vec<(u64, u16)>>,
+    active_blocks: usize,
+    a_div: Divider,
+    entries: RwLock<Vec<HistEntry>>,
+}
+
+/// One ratio transition, with its divider precomputed at push time (resizes
+/// are rare) so every later [`RatioHistory::map`] is division-free.
+#[derive(Debug, Clone, Copy)]
+struct HistEntry {
+    from_gpos: u64,
+    ratio: u16,
+    r_div: Divider,
+}
+
+impl HistEntry {
+    fn new(from_gpos: u64, ratio: u16) -> Self {
+        Self { from_gpos, ratio, r_div: Divider::new(ratio as u64) }
+    }
 }
 
 impl RatioHistory {
-    pub(crate) fn new(initial_ratio: u16) -> Self {
-        Self { entries: RwLock::new(vec![(0, initial_ratio)]) }
+    pub(crate) fn new(initial_ratio: u16, active_blocks: usize, a_div: Divider) -> Self {
+        Self { active_blocks, a_div, entries: RwLock::new(vec![HistEntry::new(0, initial_ratio)]) }
     }
 
     /// Records that blocks from `from_gpos` onward use `ratio`.
     pub(crate) fn push(&self, from_gpos: u64, ratio: u16) {
         let mut entries = self.entries.write().expect("ratio history poisoned");
-        debug_assert!(entries.last().is_none_or(|&(g, _)| g <= from_gpos));
-        entries.push((from_gpos, ratio));
+        debug_assert!(entries.last().is_none_or(|e| e.from_gpos <= from_gpos));
+        entries.push(HistEntry::new(from_gpos, ratio));
     }
 
     /// Ratio in effect for `gpos`.
+    #[cfg(test)]
     pub(crate) fn ratio_at(&self, gpos: u64) -> u16 {
+        self.entry_at(gpos).ratio
+    }
+
+    fn entry_at(&self, gpos: u64) -> HistEntry {
         let entries = self.entries.read().expect("ratio history poisoned");
         entries
             .iter()
             .rev()
-            .find(|&&(from, _)| from <= gpos)
-            .map(|&(_, r)| r)
-            .unwrap_or_else(|| entries.first().expect("history never empty").1)
+            .find(|e| e.from_gpos <= gpos)
+            .copied()
+            .unwrap_or_else(|| *entries.first().expect("history never empty"))
     }
 
     /// Mapping for `gpos` under the ratio that was live when it was issued.
-    pub(crate) fn map(&self, gpos: u64, active_blocks: usize) -> Mapping {
-        map_gpos(gpos, active_blocks, self.ratio_at(gpos))
+    pub(crate) fn map(&self, gpos: u64) -> Mapping {
+        let e = self.entry_at(gpos);
+        map_gpos_div(gpos, self.active_blocks, &self.a_div, e.ratio, &e.r_div)
     }
 }
 
@@ -139,7 +251,7 @@ mod tests {
 
     #[test]
     fn history_lookup_respects_boundaries() {
-        let h = RatioHistory::new(2);
+        let h = RatioHistory::new(2, 4, Divider::new(4));
         h.push(16, 4);
         h.push(32, 1);
         assert_eq!(h.ratio_at(0), 2);
@@ -152,11 +264,51 @@ mod tests {
 
     #[test]
     fn history_map_uses_ratio_of_the_round() {
-        let h = RatioHistory::new(1);
+        let h = RatioHistory::new(1, 4, Divider::new(4));
         h.push(8, 2); // from gpos 8 on, ratio 2 (A = 4)
                       // gpos 5 (rnd 1, ratio 1) maps within the first 4 blocks.
-        assert_eq!(h.map(5, 4).data_idx, 1);
+        assert_eq!(h.map(5).data_idx, 1);
         // gpos 13 (rnd 3, ratio 2) alternates between the two banks.
-        assert_eq!(h.map(13, 4).data_idx, 4 + 1);
+        assert_eq!(h.map(13).data_idx, 4 + 1);
+    }
+
+    #[test]
+    fn divider_matches_hardware_division() {
+        // Every divisor shape: powers of two, odd, even non-pow2, tiny, and
+        // near the 2^32 ceiling.
+        let divisors =
+            [1u64, 2, 3, 4, 5, 6, 7, 12, 16, 63, 64, 192, 1000, 4096, (1 << 32) - 1, (1 << 31) + 3];
+        // Deterministic LCG over the full 48-bit dividend range plus edges.
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        let mut dividends = vec![0u64, 1, (1 << 48) - 1, (1 << 48) - 2, 1 << 47];
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            dividends.push(x >> 16); // 48 bits
+        }
+        for &d in &divisors {
+            let div = Divider::new(d);
+            for &n in &dividends {
+                assert_eq!(div.div(n), n / d, "div mismatch: {n} / {d}");
+                assert_eq!(div.rem(n), n % d, "rem mismatch: {n} % {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn division_free_mapping_matches_reference() {
+        for (a, r) in [(4usize, 2u16), (4, 3), (6, 4), (192, 16), (5, 1), (7, 7)] {
+            let a_div = Divider::new(a as u64);
+            let r_div = Divider::new(r as u64);
+            // Edge dividends stay below A * 2^32 so the 32-bit round
+            // counter assertion holds, matching production bounds.
+            let hi = a as u64 * u32::MAX as u64;
+            for gpos in (0..4 * a as u64 * r as u64).chain([hi - 1, hi / 2 + 1]) {
+                assert_eq!(
+                    map_gpos_div(gpos, a, &a_div, r, &r_div),
+                    map_gpos(gpos, a, r),
+                    "mapping diverged at gpos {gpos} (A={a}, R={r})"
+                );
+            }
+        }
     }
 }

@@ -93,8 +93,18 @@ impl MetaBlock {
 
     /// Fast-path allocation: fetch-and-add `need` bytes expecting round
     /// `rnd` in a block of `cap` bytes.
+    ///
+    /// Ordering: `Acquire`, not `AcqRel`. The acquire side is load-bearing —
+    /// it synchronizes with the `reset_allocated` release that began this
+    /// round, so the granted range is known to lie past the prior round's
+    /// contents (the block header and reset happen-before every allocation
+    /// that observes the new round; a mismatch is caught as `Stale`). The
+    /// release side is *not* needed: an allocation publishes nothing — the
+    /// entry bytes written into the granted range are published by the
+    /// subsequent [`MetaBlock::confirm`] release, never by the allocate.
+    #[inline]
     pub(crate) fn alloc(&self, rnd: u32, need: u32, cap: u32) -> Alloc {
-        let old = RndPos::from_raw(self.allocated.fetch_add(need as u64, Ordering::AcqRel));
+        let old = RndPos::from_raw(self.allocated.fetch_add(need as u64, Ordering::Acquire));
         if old.rnd != rnd {
             return Alloc::Stale(old);
         }
@@ -112,8 +122,17 @@ impl MetaBlock {
     /// Safe as a plain fetch-and-add because the caller holds an unconfirmed
     /// in-capacity allocation of the same round, which pins the round
     /// (invariant 2 above).
+    ///
+    /// Ordering: `Release`, not `AcqRel`. This is the *publication point* of
+    /// the entry bytes: the consumer's acquire load of `Confirmed` (and the
+    /// next round owner's `lock` CAS, which reads `Confirmed == (rnd, cap)`)
+    /// synchronize with it, ordering the payload writes before any reuse or
+    /// read. The acquire side is not needed: the confirmer takes no action
+    /// based on the returned value and reads nothing another confirm
+    /// published.
+    #[inline]
     pub(crate) fn confirm(&self, len: u32) {
-        self.confirmed.fetch_add(len as u64, Ordering::AcqRel);
+        self.confirmed.fetch_add(len as u64, Ordering::Release);
     }
 
     /// Closes the current allocation round `rnd`: raises `Allocated.pos` to

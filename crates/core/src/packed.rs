@@ -28,16 +28,19 @@ pub struct RndPos {
 
 impl RndPos {
     /// Creates a packed value.
+    #[inline]
     pub const fn new(rnd: u32, pos: u32) -> Self {
         Self { rnd, pos }
     }
 
     /// Unpacks a raw `u64`.
+    #[inline]
     pub const fn from_raw(raw: u64) -> Self {
         Self { rnd: (raw >> 32) as u32, pos: raw as u32 }
     }
 
     /// Packs into a raw `u64`.
+    #[inline]
     pub const fn to_raw(self) -> u64 {
         ((self.rnd as u64) << 32) | self.pos as u64
     }
@@ -74,17 +77,20 @@ impl RatioPos {
     /// # Panics
     ///
     /// Panics in debug builds if `pos` does not fit in 48 bits.
+    #[inline]
     pub const fn new(ratio: u16, pos: u64) -> Self {
         debug_assert!(pos < (1 << POS_BITS));
         Self { ratio, pos }
     }
 
     /// Unpacks a raw `u64`.
+    #[inline]
     pub const fn from_raw(raw: u64) -> Self {
         Self { ratio: (raw >> POS_BITS) as u16, pos: raw & ((1 << POS_BITS) - 1) }
     }
 
     /// Packs into a raw `u64`.
+    #[inline]
     pub const fn to_raw(self) -> u64 {
         ((self.ratio as u64) << POS_BITS) | self.pos
     }

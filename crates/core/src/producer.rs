@@ -2,10 +2,12 @@
 //! allocate/commit, the unit the paper's out-of-order confirmation operates
 //! on).
 
-use crate::buffer::Shared;
+use crate::buffer::{Granted, Shared};
 use crate::error::TraceError;
 use crate::event::{encoded_len, EntryHeader, EntryKind, HEADER_BYTES};
+use crate::meta::Alloc;
 use crate::sync::Arc;
+use std::cell::Cell;
 
 /// Largest payload that fits one entry in a block of `block_bytes`: the
 /// block header consumes the first 16 bytes, the entry header another 16.
@@ -43,11 +45,102 @@ pub(crate) fn max_payload(block_bytes: usize) -> usize {
 pub struct Producer {
     shared: Arc<Shared>,
     core: u16,
+    /// Cached descriptor of the block this handle last allocated from.
+    ///
+    /// The uncached path pays an acquire load of the core-local word plus a
+    /// `gpos → (meta, round, data)` mapping on *every* record; this cache
+    /// pays neither. It needs no invalidation protocol because it is
+    /// self-validating: the allocation fetch-and-add carries the expected
+    /// round, so any staleness — the block filled, another thread advanced
+    /// the core, a wrap-around producer recycled the block, a resize moved
+    /// the world — surfaces as `Exhausted`/`Tail`/`Stale` from `alloc`, and
+    /// the `#[cold]` refresh path falls back to `Shared::allocate` and
+    /// re-seeds the cache from its result. A `Cell` (not an atomic) keeps
+    /// the fast path free of even relaxed RMWs; it makes `Producer` `!Sync`,
+    /// which matches how handles are used — cloned per thread, never shared
+    /// by reference.
+    desc: Cell<Desc>,
+}
+
+/// See [`Producer::desc`].
+#[derive(Clone, Copy, Debug)]
+struct Desc {
+    gpos: u64,
+    rnd: u32,
+    meta_idx: usize,
+    data_idx: u64,
+    data_off: usize,
 }
 
 impl Producer {
     pub(crate) fn new(shared: Arc<Shared>, core: u16) -> Self {
-        Self { shared, core }
+        // Seed from the core's current block; if it is already stale by the
+        // first record, the round check degrades it to a refresh.
+        let local = shared.core_local(core as usize);
+        let map = shared.cfg.map_live(local.pos, local.ratio);
+        let desc = Desc {
+            gpos: local.pos,
+            rnd: map.rnd,
+            meta_idx: map.meta_idx,
+            data_idx: map.data_idx,
+            data_off: shared.data.block_offset(map.data_idx),
+        };
+        Self { shared, core, desc: Cell::new(desc) }
+    }
+
+    /// Cached-descriptor allocation: one fetch-and-add against the cached
+    /// block, no core-local load, no mapping. Falls into [`Self::refresh`]
+    /// when the cached block cannot take the entry.
+    #[inline]
+    fn allocate(&self, need: u32) -> Granted {
+        let d = self.desc.get();
+        match self.shared.metas[d.meta_idx].alloc(d.rnd, need, self.shared.cap()) {
+            Alloc::Fits { pos } => Granted {
+                gpos: d.gpos,
+                rnd: d.rnd,
+                meta_idx: d.meta_idx,
+                data_idx: d.data_idx,
+                data_off: d.data_off,
+                offset: pos,
+                len: need,
+            },
+            fail => self.refresh(need, fail, d),
+        }
+    }
+
+    /// Slow path: settle the failed allocation against the cached block,
+    /// then allocate through the shared path and re-seed the cache.
+    #[cold]
+    fn refresh(&self, need: u32, fail: Alloc, d: Desc) -> Granted {
+        match fail {
+            // We own the insufficient tail of the cached block: fill and
+            // confirm it, exactly as the uncached path would (Fig. 8c). The
+            // write is safe even against a concurrent shrink — the round
+            // stays unconfirmed until our confirm, which the resize drain
+            // waits on before any page is decommitted.
+            Alloc::Tail { pos } => {
+                let fill = self.shared.cap() - pos;
+                self.shared.write_dummy_run(d.data_idx, pos, fill);
+                self.shared.metas[d.meta_idx].confirm(fill);
+            }
+            // The cached block was recycled into a newer round by a
+            // wrap-around producer; our fetch-and-add inflated *that* round
+            // and must be repaired, or its pin wedges the block (§3.4).
+            Alloc::Stale(actual) => {
+                self.shared.repair_straggler(d.meta_idx, actual, need);
+            }
+            Alloc::Exhausted => {}
+            Alloc::Fits { .. } => unreachable!("fast path handles Fits"),
+        }
+        let granted = self.shared.allocate(self.core as usize, need);
+        self.desc.set(Desc {
+            gpos: granted.gpos,
+            rnd: granted.rnd,
+            meta_idx: granted.meta_idx,
+            data_idx: granted.data_idx,
+            data_off: granted.data_off,
+        });
+        granted
     }
 
     /// The core this handle records on.
@@ -67,14 +160,43 @@ impl Producer {
     }
 
     /// Records `payload` with a caller-provided logic stamp and thread id.
-    /// This is the hot path: one fetch-and-add to allocate, a word-wise
-    /// copy, one fetch-and-add to confirm.
+    /// This is the hot path: one fetch-and-add against the cached block
+    /// descriptor to allocate, a word-wise copy, one fetch-and-add to
+    /// confirm, one packed relaxed add for the counters.
     ///
     /// # Errors
     ///
     /// [`TraceError::EntryTooLarge`] when the payload cannot fit in a block.
+    #[inline]
     pub fn record_with(&self, stamp: u64, tid: u32, payload: &[u8]) -> Result<(), TraceError> {
-        record_on(&self.shared, self.core as usize, stamp, tid, payload)
+        let shared = &*self.shared;
+        let core = self.core as usize;
+        let max = max_payload(shared.cfg.block_bytes);
+        if payload.len() > max {
+            return Err(TraceError::EntryTooLarge { payload: payload.len(), max });
+        }
+        let need = encoded_len(payload.len()) as u32;
+        // Sampled fast-path timing: untimed records pay one relaxed load.
+        #[cfg(feature = "telemetry")]
+        let timer = shared.telem.record_timer(shared.counters.records_on_core(core));
+        let granted = self.allocate(need);
+        write_entry(
+            shared,
+            granted.data_off,
+            granted.offset,
+            granted.len,
+            stamp,
+            tid,
+            self.core,
+            payload,
+        );
+        shared.confirm_entry(granted.meta_idx, granted.len);
+        shared.counters.record_on_core(core, granted.len as u64);
+        #[cfg(feature = "telemetry")]
+        if let Some(t0) = timer {
+            shared.telem.record_hist.record(core, t0.elapsed().as_nanos() as u64);
+        }
+        Ok(())
     }
 
     /// Allocates space for a `payload_len`-byte entry without writing it,
@@ -92,7 +214,7 @@ impl Producer {
     /// [`TraceError::EntryTooLarge`] when the payload cannot fit in a block.
     pub fn begin(&self, payload_len: usize) -> Result<Grant, TraceError> {
         let need = self.encoded_need(payload_len)?;
-        let granted = self.shared.allocate(self.core as usize, need);
+        let granted = self.allocate(need);
         Ok(Grant {
             shared: Arc::clone(&self.shared),
             meta_idx: granted.meta_idx,
@@ -121,8 +243,11 @@ impl std::fmt::Debug for Producer {
     }
 }
 
-/// The grant-free recording fast path shared by [`Producer::record_with`]
-/// and the `TraceSink` implementation.
+/// The grant-free, uncached recording path used by the `TraceSink`
+/// implementation (which has no per-handle state to cache a descriptor in).
+/// [`Producer::record_with`] carries its own copy running over the cached
+/// descriptor.
+#[inline]
 pub(crate) fn record_on(
     shared: &Shared,
     core: usize,
@@ -139,7 +264,16 @@ pub(crate) fn record_on(
     #[cfg(feature = "telemetry")]
     let timer = shared.telem.record_timer(shared.counters.records_on_core(core));
     let granted = shared.allocate(core, need);
-    write_entry(shared, &granted, stamp, tid, core as u16, payload);
+    write_entry(
+        shared,
+        granted.data_off,
+        granted.offset,
+        granted.len,
+        stamp,
+        tid,
+        core as u16,
+        payload,
+    );
     shared.confirm_entry(granted.meta_idx, granted.len);
     shared.counters.record_on_core(core, granted.len as u64);
     #[cfg(feature = "telemetry")]
@@ -149,24 +283,28 @@ pub(crate) fn record_on(
     Ok(())
 }
 
+#[inline]
+#[allow(clippy::too_many_arguments)]
 fn write_entry(
     shared: &Shared,
-    granted: &crate::buffer::Granted,
+    data_off: usize,
+    offset: u32,
+    len: u32,
     stamp: u64,
     tid: u32,
     core: u16,
     payload: &[u8],
 ) {
-    let pad = granted.len as usize - HEADER_BYTES - payload.len();
+    let pad = len as usize - HEADER_BYTES - payload.len();
     let header = EntryHeader {
-        len: granted.len as u16,
+        len: len as u16,
         kind: EntryKind::Data,
         pad: pad as u8,
         core: core as u8,
         tid,
         stamp,
     };
-    let at = granted.data_off + granted.offset as usize;
+    let at = data_off + offset as usize;
     shared.data.store_words(at, &header.encode());
     shared.data.store_bytes(at + HEADER_BYTES, payload);
 }
@@ -216,14 +354,16 @@ impl Grant {
                 max: self.payload_len as usize,
             });
         }
-        let granted = crate::buffer::Granted {
-            gpos: self.gpos,
-            meta_idx: self.meta_idx,
-            data_off: self.data_off,
-            offset: self.offset,
-            len: self.len,
-        };
-        write_entry(&self.shared, &granted, stamp, tid, self.core, payload);
+        write_entry(
+            &self.shared,
+            self.data_off,
+            self.offset,
+            self.len,
+            stamp,
+            tid,
+            self.core,
+            payload,
+        );
         self.shared.confirm_entry(self.meta_idx, self.len);
         self.shared.counters.record_on_core(self.core as usize, self.len as u64);
         self.committed = true;
@@ -367,6 +507,107 @@ mod tests {
         }
         held.commit(1, 0, b"held-one").unwrap();
         assert!(t.stats().records == 201);
+    }
+
+    #[test]
+    fn cached_descriptor_refreshes_across_advances() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        // 100 records of 32 encoded bytes cross many 256-byte blocks, so the
+        // cached descriptor is invalidated (Tail/Exhausted) and re-seeded
+        // repeatedly.
+        for i in 0..100u64 {
+            p.record_with(i, 0, b"cache-payload-16").unwrap();
+        }
+        assert!(t.stats().advances >= 2, "run must cross blocks");
+        let out = t.consumer().collect();
+        assert!(!out.events.is_empty());
+        let stamps: Vec<_> = out.events.iter().map(|e| e.stamp()).collect();
+        let mut sorted = stamps.clone();
+        sorted.sort_unstable();
+        assert_eq!(stamps, sorted, "single-producer buffer order must follow stamps");
+        for e in &out.events {
+            assert_eq!(e.payload(), b"cache-payload-16");
+        }
+    }
+
+    #[test]
+    fn cached_descriptor_survives_cross_core_recycle() {
+        let t = tracer(2);
+        let p0 = t.producer(0).unwrap();
+        let p1 = t.producer(1).unwrap();
+        p0.record_with(0, 0, b"prime-cache!").unwrap();
+        // Flood from core 1 until the buffer wraps several times: core 0's
+        // cached block is closed and recycled into a newer round behind the
+        // cache's back.
+        for i in 0..500u64 {
+            p1.record_with(1000 + i, 1, b"flood-payload-entry").unwrap();
+        }
+        // The next allocation against the cached descriptor lands in the
+        // newer round (Stale), must repair its own inflation, and the
+        // record still goes through intact.
+        p0.record_with(1, 0, b"after-recycle").unwrap();
+        assert!(t.stats().straggler_repairs >= 1, "stale cached round must be repaired");
+        let out = t.consumer().collect();
+        assert!(out.events.iter().any(|e| e.payload() == b"after-recycle"));
+        for e in &out.events {
+            assert!(
+                e.payload() == b"after-recycle"
+                    || e.payload() == b"prime-cache!"
+                    || e.payload() == b"flood-payload-entry",
+                "torn event: {:?}",
+                e.payload()
+            );
+        }
+    }
+
+    #[test]
+    fn cached_descriptor_survives_shrink_resize() {
+        let t = BTrace::new(
+            Config::new(1)
+                .active_blocks(4)
+                .block_bytes(1024)
+                .buffer_bytes(1024 * 4 * 4)
+                .max_bytes(1024 * 4 * 8)
+                .backing(Backing::Heap),
+        )
+        .unwrap();
+        let p = t.producer(0).unwrap();
+        p.record_with(0, 0, b"pre-resize").unwrap(); // primes the cache
+        t.resize_bytes(1024 * 4 * 8).unwrap(); // grow: new mapping epoch
+        for i in 1..25u64 {
+            p.record_with(i, 0, b"post-grow-entry!").unwrap();
+        }
+        t.resize_bytes(1024 * 4).unwrap(); // shrink: blocks decommitted
+        for i in 25..50u64 {
+            p.record_with(i, 0, b"post-shrink-entry").unwrap();
+        }
+        let out = t.consumer().collect();
+        // No write was misplaced through a stale cached mapping: every
+        // surviving event is byte-intact and the newest is retained.
+        for e in &out.events {
+            assert!(
+                e.payload() == b"pre-resize"
+                    || e.payload() == b"post-grow-entry!"
+                    || e.payload() == b"post-shrink-entry",
+                "torn event after resize: {:?}",
+                e.payload()
+            );
+        }
+        assert_eq!(out.events.last().unwrap().stamp(), 49);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn wide_copy_roundtrips_any_payload(len in 1usize..=64, seed in proptest::prelude::any::<u8>()) {
+            let t = tracer(1);
+            let p = t.producer(0).unwrap();
+            let payload: Vec<u8> = (0..len).map(|i| seed.wrapping_add(i as u8)).collect();
+            p.record_with(7, 3, &payload).unwrap();
+            let out = t.consumer().collect();
+            proptest::prop_assert_eq!(out.events.len(), 1);
+            proptest::prop_assert_eq!(out.events[0].payload(), &payload[..]);
+        }
     }
 
     #[test]

@@ -34,64 +34,86 @@ impl DataRegion {
         data_idx as usize * self.block_bytes
     }
 
+    /// Base pointer for a `words`-long word run at `byte_off`, with the
+    /// bounds and alignment checks hoisted out of the copy loops: the per-
+    /// word address arithmetic below is then a single pointer increment.
     #[inline]
-    fn word(&self, byte_off: usize) -> &AtomicU64 {
+    fn word_run(&self, byte_off: usize, words: usize) -> *const AtomicU64 {
         debug_assert_eq!(byte_off % 8, 0, "data region access must be word aligned");
-        debug_assert!(byte_off + 8 <= self.region.len());
-        // SAFETY: in-bounds (asserted), 8-aligned (region base is page
-        // aligned), and AtomicU64 tolerates the concurrent mixed access this
-        // module exists to make defined.
-        unsafe { &*(self.region.as_ptr().add(byte_off) as *const AtomicU64) }
+        debug_assert!(byte_off + words * 8 <= self.region.len());
+        // SAFETY: the whole run is in-bounds (asserted) and 8-aligned
+        // (region base is page aligned); AtomicU64 tolerates the concurrent
+        // mixed access this module exists to make defined.
+        unsafe { self.region.as_ptr().add(byte_off) as *const AtomicU64 }
     }
 
     /// Stores `words` starting at `byte_off` (relaxed; callers publish via
     /// `Confirmed`).
+    #[inline]
     pub(crate) fn store_words(&self, byte_off: usize, words: &[u64]) {
+        let base = self.word_run(byte_off, words.len());
         for (i, &w) in words.iter().enumerate() {
-            self.word(byte_off + i * 8).store(w, Ordering::Relaxed);
+            // SAFETY: `base + i` is inside the run checked by `word_run`.
+            unsafe { (*base.add(i)).store(w, Ordering::Relaxed) };
         }
     }
 
     /// Loads `out.len()` words starting at `byte_off`.
+    #[inline]
     pub(crate) fn load_words(&self, byte_off: usize, out: &mut [u64]) {
+        let base = self.word_run(byte_off, out.len());
         for (i, slot) in out.iter_mut().enumerate() {
-            *slot = self.word(byte_off + i * 8).load(Ordering::Relaxed);
+            // SAFETY: `base + i` is inside the run checked by `word_run`.
+            *slot = unsafe { (*base.add(i)).load(Ordering::Relaxed) };
         }
     }
 
-    /// Stores `bytes` at `byte_off` (8-aligned), zero-padding the final
-    /// partial word. The padding stays within the entry's allocated,
-    /// alignment-rounded space.
+    /// Stores `bytes` at `byte_off` (8-aligned) as whole-word transfers,
+    /// zero-padding the final partial word. The source slice need not be
+    /// aligned — each word is assembled with an unaligned 8-byte read
+    /// (`from_le_bytes` on an exact chunk compiles to one). The padding
+    /// stays within the entry's allocated, alignment-rounded space.
+    #[inline]
     pub(crate) fn store_bytes(&self, byte_off: usize, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        let mut off = byte_off;
-        for chunk in chunks.by_ref() {
+        let full = bytes.len() / 8;
+        let rest = bytes.len() % 8;
+        let base = self.word_run(byte_off, full + (rest != 0) as usize);
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
             let w = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
-            self.word(off).store(w, Ordering::Relaxed);
-            off += 8;
+            // SAFETY: `base + i` is inside the run checked by `word_run`.
+            unsafe { (*base.add(i)).store(w, Ordering::Relaxed) };
         }
-        let rest = chunks.remainder();
-        if !rest.is_empty() {
+        if rest != 0 {
             let mut tail = [0u8; 8];
-            tail[..rest.len()].copy_from_slice(rest);
-            self.word(off).store(u64::from_le_bytes(tail), Ordering::Relaxed);
+            tail[..rest].copy_from_slice(&bytes[full * 8..]);
+            // SAFETY: the tail word was included in the `word_run` length.
+            unsafe { (*base.add(full)).store(u64::from_le_bytes(tail), Ordering::Relaxed) };
         }
     }
 
-    /// Loads `len` bytes from `byte_off` (8-aligned) into `out`.
+    /// Loads `len` bytes from `byte_off` (8-aligned) into `out` as whole-
+    /// word transfers; the final word's excess bytes are trimmed by the
+    /// length, never read past the reserved capacity.
     pub(crate) fn load_bytes(&self, byte_off: usize, out: &mut Vec<u8>, len: usize) {
         out.clear();
-        out.reserve(len);
-        let words = len / 8;
+        if len == 0 {
+            return;
+        }
+        let words = len.div_ceil(8);
+        out.reserve(words * 8);
+        let base = self.word_run(byte_off, words);
+        let dst = out.as_mut_ptr();
         for i in 0..words {
-            let w = self.word(byte_off + i * 8).load(Ordering::Relaxed);
-            out.extend_from_slice(&w.to_le_bytes());
+            // SAFETY: `base + i` is inside the run checked by `word_run`;
+            // the destination writes land within the `words * 8` bytes
+            // reserved above (unaligned stores into spare capacity).
+            unsafe {
+                let w = (*base.add(i)).load(Ordering::Relaxed);
+                (dst.add(i * 8) as *mut [u8; 8]).write_unaligned(w.to_le_bytes());
+            }
         }
-        let rest = len % 8;
-        if rest != 0 {
-            let w = self.word(byte_off + words * 8).load(Ordering::Relaxed);
-            out.extend_from_slice(&w.to_le_bytes()[..rest]);
-        }
+        // SAFETY: the first `words * 8 >= len` bytes were just initialized.
+        unsafe { out.set_len(len) };
     }
 }
 
@@ -150,6 +172,34 @@ mod tests {
         let mut w = [0u64; 1];
         r.load_words(64 + 16, &mut w);
         assert_eq!(w[0] & 0xFF_FF_FF_00_00_00_00_00, 0);
+    }
+
+    #[test]
+    fn all_lengths_roundtrip_at_odd_offsets() {
+        let r = region();
+        // Every payload length through the head/tail split, at several
+        // word-aligned bases, from an unaligned source slice — byte-exact.
+        let src: Vec<u8> = (0..=255u8).cycle().take(80).collect();
+        for base in [0usize, 8, 16, 72, 200] {
+            for len in 0..=64usize {
+                let payload = &src[1..1 + len]; // misaligned source
+                r.store_bytes(base, payload);
+                let mut out = Vec::new();
+                r.load_bytes(base, &mut out, len);
+                assert_eq!(out, payload, "base {base} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn load_bytes_reuses_scratch_capacity() {
+        let r = region();
+        r.store_bytes(0, b"scratch-reuse-check");
+        let mut out = Vec::with_capacity(3); // deliberately too small
+        r.load_bytes(0, &mut out, 19);
+        assert_eq!(&out, b"scratch-reuse-check");
+        r.load_bytes(0, &mut out, 0);
+        assert!(out.is_empty());
     }
 
     #[test]

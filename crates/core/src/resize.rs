@@ -73,11 +73,19 @@ impl BTrace {
         }
 
         // Growing: commit the new pages *before* any producer can reach them.
+        //
+        // Ordering note (applies to every store in this function): resizes
+        // are serialized by `resize_lock`, so this thread is the only writer
+        // of `committed_extent`, `capacity_blocks`, `resize_floor`, and the
+        // global word. No total order across independent writers exists to
+        // preserve; release stores (paired with acquire loads at the
+        // readers) carry exactly the happens-before edges the protocol
+        // needs, and the fast path never fences.
         let new_extent = extent_bytes(&shared.cfg, new_ratio);
-        let old_extent = shared.committed_extent.load(Ordering::SeqCst);
+        let old_extent = shared.committed_extent.load(Ordering::Acquire);
         if new_extent > old_extent {
             shared.data.region().commit(old_extent, new_extent - old_extent)?;
-            shared.committed_extent.store(new_extent, Ordering::SeqCst);
+            shared.committed_extent.store(new_extent, Ordering::Release);
         }
 
         // Publish the new ratio at the next round boundary (§4.4: "after
@@ -87,23 +95,33 @@ impl BTrace {
             let cur = shared.global_pos();
             let boundary = (cur.pos / a + 1) * a;
             let next = RatioPos::new(new_ratio, boundary);
+            // AcqRel: the release side makes the pages committed above
+            // visible to any producer whose claimed gpos carries the new
+            // ratio (it read the global with acquire); the acquire side
+            // orders this CAS after the advances whose positions it read.
             if shared
                 .global_raw()
-                .compare_exchange(cur.to_raw(), next.to_raw(), Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(cur.to_raw(), next.to_raw(), Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
                 break boundary;
             }
         };
-        shared.resize_floor.store(boundary, Ordering::SeqCst);
+        // Release: pairs with the advance path's acquire floor loads. A
+        // racing advance that misses this store holds a pre-boundary
+        // candidate; the drain loop below waits on its confirm either way
+        // (see the second floor check in `advance_inner`).
+        shared.resize_floor.store(boundary, Ordering::Release);
         shared.history.push(boundary, new_ratio);
 
         let shrinking = new_ratio < old.ratio;
         let new_blocks = new_ratio as u64 * a;
         if shrinking {
             // Consumers must stop ranging into the doomed blocks before the
-            // grace period starts.
-            shared.capacity_blocks.store(new_blocks, Ordering::SeqCst);
+            // grace period starts. Release pairs with their acquire load;
+            // the EBR grace period below provides the actual barrier
+            // against consumers that pinned before this store.
+            shared.capacity_blocks.store(new_blocks, Ordering::Release);
         }
 
         // Force every core off its pre-resize block by executing the
@@ -131,7 +149,7 @@ impl BTrace {
                 }
                 if let Close::Fill { rnd, pos } = meta.close(conf.rnd, cap) {
                     let gpos = rnd as u64 * a + idx as u64;
-                    let map = shared.history.map(gpos, shared.active());
+                    let map = shared.history.map(gpos);
                     shared.write_dummy_run(map.data_idx, pos, cap - pos);
                     meta.confirm(cap - pos);
                     shared.counters.bump(&shared.counters.closes);
@@ -144,7 +162,7 @@ impl BTrace {
         }
 
         if !shrinking {
-            shared.capacity_blocks.store(new_blocks, Ordering::SeqCst);
+            shared.capacity_blocks.store(new_blocks, Ordering::Release);
         }
 
         if shrinking {
@@ -159,7 +177,7 @@ impl BTrace {
             }
             if new_extent < old_extent {
                 shared.data.region().decommit(new_extent, old_extent - new_extent)?;
-                shared.committed_extent.store(new_extent, Ordering::SeqCst);
+                shared.committed_extent.store(new_extent, Ordering::Release);
             }
         }
 

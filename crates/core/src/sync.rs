@@ -33,6 +33,30 @@
 //! * the ratio-history `RwLock` (`layout.rs`) — its critical sections
 //!   contain no facade operations, so a modeled thread can never be parked
 //!   while holding it and blocking lock acquisition is safe.
+//!
+//! # Memory-ordering audit
+//!
+//! The hot-path orderings were audited and weakened to the minimum each
+//! invariant needs; the justification lives as a comment at each site:
+//!
+//! * `MetaBlock::alloc` — `Acquire` RMW (synchronizes with the
+//!   `reset_allocated` release that began the round; allocation publishes
+//!   nothing, so no release side). Intermediate `fetch_add`s preserve the
+//!   release sequence, so an alloc that reads from another alloc still
+//!   synchronizes with the reset.
+//! * `MetaBlock::confirm` — `Release` fetch-and-add (the publication point
+//!   of entry bytes; readers pair with an acquire load, the next round
+//!   owner with the `lock` CAS).
+//! * `Shared::global_pos` / advance's claim fetch-and-add — `Acquire`
+//!   (resizes are serialized by `resize_lock`; claiming publishes nothing).
+//! * `capacity_blocks`, `resize_floor`, `committed_extent` —
+//!   release stores under the resize lock, acquire loads at readers; the
+//!   resize drain loop is the backstop for any racing advance.
+//!
+//! Note the model checker (`model_rt`) explores *interleavings* at these
+//! yield points but executes on the host's (x86-TSO or ARM) memory model —
+//! it validates the protocol's state machine under every schedule, not the
+//! relaxations themselves; those rest on the written invariant arguments.
 
 pub(crate) use std::sync::atomic::Ordering;
 pub(crate) use std::sync::Arc;

@@ -116,8 +116,9 @@ fn read_incremental(
     out: &mut Polled,
 ) -> BlockState {
     let cap = shared.cap() as usize;
-    let map = shared.history.map(gpos, shared.active());
-    if map.data_idx >= shared.capacity_blocks.load(Ordering::SeqCst) {
+    let map = shared.history.map(gpos);
+    // Acquire: pairs with the shrinker's release store (see `read_block`).
+    if map.data_idx >= shared.capacity_blocks.load(Ordering::Acquire) {
         return BlockState::Unavailable;
     }
     let meta = &shared.metas[map.meta_idx];

@@ -87,7 +87,8 @@ pub(crate) fn health_snapshot(shared: &Shared) -> HealthSnapshot {
     let stats = shared.counters.snapshot();
     let cap = shared.cap();
     let active = shared.active();
-    let capacity_blocks = shared.capacity_blocks.load(std::sync::atomic::Ordering::SeqCst) as usize;
+    let capacity_blocks =
+        shared.capacity_blocks.load(std::sync::atomic::Ordering::Acquire) as usize;
 
     // Occupancy of the active metadata rounds: how full each currently
     // live block is, by confirmed bytes. `pos` can transiently exceed the
@@ -119,7 +120,7 @@ pub(crate) fn health_snapshot(shared: &Shared) -> HealthSnapshot {
         active_blocks: active,
         block_bytes: shared.cfg.block_bytes,
         capacity_bytes: capacity_blocks * shared.cfg.block_bytes,
-        committed_bytes: shared.committed_extent.load(std::sync::atomic::Ordering::SeqCst) as u64,
+        committed_bytes: shared.committed_extent.load(std::sync::atomic::Ordering::Acquire) as u64,
         open_blocks,
         mean_occupancy: occupancy_sum / active as f64,
         records: stats.records,

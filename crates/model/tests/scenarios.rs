@@ -15,6 +15,8 @@
 //! * speculative consumer (§4.3) — `speculative_consumer_race`
 //! * resizing (§4.4)           — `resize_under_traffic`
 //! * ABA hazard (Rnd wraparound past a pinned grant) — `aba_round_wraparound`
+//! * cached block descriptor gone stale across a wrap-around —
+//!   `descriptor_preemption`
 
 use btrace_core::{introspect, model_rt, BTrace, Backing, Config};
 use btrace_model::check::{
@@ -391,6 +393,91 @@ fn aba_round_wraparound() {
             assert_eq!(held.len(), 1, "the pinned grant's event must survive exactly once");
             assert_eq!(held[0].payload(), PAYLOAD);
             assert!(t.stats().skips >= 1, "the pinned block must have been skipped");
+            check_counter_coherence(&t);
+        });
+    });
+    assert_coverage(report);
+}
+
+/// Cached-descriptor hazard: each `Producer` handle caches its block's
+/// `(gpos, rnd, meta, data)` descriptor and allocates against it without
+/// reloading the core-local word. Here a producer primes its cache, is
+/// "preempted" while a sibling handle on the same core floods the buffer
+/// through several full wrap-arounds (recycling the cached block into newer
+/// rounds), then resumes recording through the stale cache. The refresh path
+/// must detect the staleness via the round check, repair its own inflation
+/// of the newer round (or the round's pin leaks and wedges the block), and
+/// land every resumed event intact.
+#[test]
+fn descriptor_preemption() {
+    const FLOOD: u64 = 160; // 16 blocks: 4 full ratio rounds on N = 4
+    const RESUMED: u64 = 5;
+    let report = explore("descriptor_preemption", ModelConfig::default(), |sim| {
+        let t = BTrace::new(
+            Config::new(1)
+                .active_blocks(2)
+                .block_bytes(256)
+                .buffer_bytes(256 * 2 * 2) // ratio 2, N = 4
+                .backing(Backing::Heap),
+        )
+        .unwrap();
+        let p = t.producer(0).unwrap();
+        let primed = Arc::new(AtomicBool::new(false));
+        let flood_done = Arc::new(AtomicBool::new(false));
+
+        {
+            // The preempted producer: `p` moves in, so its cached descriptor
+            // is primed by the first record and untouched by the flood.
+            let primed = Arc::clone(&primed);
+            let flood_done = Arc::clone(&flood_done);
+            sim.thread(move || {
+                p.record_with(500, 0, PAYLOAD).unwrap();
+                primed.store(true, Ordering::SeqCst);
+                while !flood_done.load(Ordering::SeqCst) {
+                    model_rt::yield_spin(); // parked mid-trace, cache rotting
+                }
+                for i in 0..RESUMED {
+                    p.record_with(600 + i, 0, PAYLOAD).unwrap();
+                }
+            });
+        }
+        {
+            // A sibling handle on the same core floods the buffer through
+            // full wrap-around behind the parked producer's back.
+            let p = t.producer(0).unwrap();
+            let primed = Arc::clone(&primed);
+            let flood_done = Arc::clone(&flood_done);
+            sim.thread(move || {
+                while !primed.load(Ordering::SeqCst) {
+                    model_rt::yield_spin();
+                }
+                for i in 0..FLOOD {
+                    p.record_with(i, 1, PAYLOAD).unwrap();
+                }
+                flood_done.store(true, Ordering::SeqCst);
+            });
+        }
+        sim.finally(move || {
+            let produced: BTreeSet<u64> =
+                (0..FLOOD).chain([500]).chain((0..RESUMED).map(|i| 600 + i)).collect();
+            let readout = t.consumer().collect();
+            check_conservation(&readout, &produced, false);
+            for e in &readout.events {
+                assert_eq!(e.payload(), PAYLOAD, "torn event: stamp {}", e.stamp());
+            }
+            // The resumed producer allocated against a recycled round: the
+            // round check must have degraded its cache to Stale and repaired
+            // the misplaced inflation.
+            assert!(
+                t.stats().straggler_repairs >= 1,
+                "stale cached descriptor must be detected and repaired"
+            );
+            // The resumed events are the newest written; they must survive.
+            let newest = 600 + RESUMED - 1;
+            assert!(
+                readout.events.iter().any(|e| e.stamp() == newest),
+                "newest resumed event {newest} lost"
+            );
             check_counter_coherence(&t);
         });
     });

@@ -64,6 +64,13 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine` repeatedly; the harness aggregates the results.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // `--test` mode (real criterion's smoke mode): run the routine once
+        // to prove it executes, skip warm-up and measurement entirely.
+        if test_mode() {
+            black_box(routine());
+            self.iters_done += 1;
+            return;
+        }
         // Warm-up: let caches, branch predictors, and lazy init settle.
         let warmup_end = Instant::now() + Duration::from_millis(60);
         while Instant::now() < warmup_end {
@@ -91,10 +98,21 @@ impl Bencher {
     }
 }
 
+/// True when the binary was invoked with `--test` (as `cargo bench --
+/// --test` does with real criterion): each benchmark runs its routine once
+/// as a smoke check instead of being measured.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
     let mut bencher =
         Bencher { iters_done: 0, elapsed: Duration::ZERO, measure_for: measure_duration() };
     f(&mut bencher);
+    if test_mode() {
+        println!("bench {label:<40} ok (--test: ran once, not measured)");
+        return;
+    }
     let ns = bencher.ns_per_iter();
     let extra = match throughput {
         Some(Throughput::Elements(n)) if ns > 0.0 => {
