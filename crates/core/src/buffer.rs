@@ -446,6 +446,27 @@ impl BTrace {
         self.shared.counters.snapshot()
     }
 
+    /// Current health of the tracer: [`TracerState::Healthy`], or
+    /// [`TracerState::Degraded`] with the live conditions and exact failure
+    /// counters when a resource-acquisition edge has failed (commit retries
+    /// exhausted, reclaim deferred, poisoned lock recovered). Recording
+    /// never stops while degraded — producers keep writing into the
+    /// surviving blocks.
+    ///
+    /// [`TracerState::Healthy`]: crate::TracerState::Healthy
+    /// [`TracerState::Degraded`]: crate::TracerState::Degraded
+    pub fn state(&self) -> crate::TracerState {
+        self.shared.counters.state()
+    }
+
+    /// Injection counts when the tracer was configured with a
+    /// [`FaultPlan`](crate::Config::fault_plan); `None` otherwise. The
+    /// degradation counters in [`stats`](BTrace::stats) can be checked
+    /// exactly against these.
+    pub fn fault_stats(&self) -> Option<btrace_vmem::FaultStats> {
+        self.shared.data.region().fault_stats()
+    }
+
     /// Full health report: counters, buffer gauges, per-core breakdowns,
     /// latency summaries, and the observed effectivity ratio next to the
     /// paper's `1 − A/N` bound.

@@ -3,7 +3,7 @@
 use crate::error::TraceError;
 use crate::event::{ENTRY_ALIGN, HEADER_BYTES};
 use crate::layout::{map_gpos_div, Divider, Mapping};
-use btrace_vmem::Backing;
+use btrace_vmem::{Backing, FaultPlan};
 
 /// Smallest permitted data block (must hold a block header plus one entry).
 pub const MIN_BLOCK_BYTES: usize = 64;
@@ -31,6 +31,7 @@ pub struct Config {
     block_bytes: usize,
     active_blocks: Option<usize>,
     backing: Backing,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Config {
@@ -43,6 +44,7 @@ impl Config {
             block_bytes: 4096,
             active_blocks: None,
             backing: Backing::default(),
+            fault_plan: None,
         }
     }
 
@@ -78,6 +80,16 @@ impl Config {
     /// Selects the memory backing (default: platform best).
     pub fn backing(mut self, backing: Backing) -> Self {
         self.backing = backing;
+        self
+    }
+
+    /// Wraps the backing in a deterministic [`FaultPlan`]: commits and
+    /// decommits may fail, partially commit, or land late on the plan's
+    /// seed-replayable schedule. For testing the tracer's degradation
+    /// behaviour under memory pressure; see
+    /// [`BTrace::fault_stats`](crate::BTrace::fault_stats).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -145,6 +157,7 @@ impl Config {
             ratio: ratio as u16,
             max_ratio: (max_bytes / stride) as u16,
             backing: self.backing,
+            fault_plan: self.fault_plan,
             // Reciprocals precomputed once so the gpos mapping never pays a
             // hardware divide (layout::Divider).
             a_div: Divider::new(active as u64),
@@ -164,6 +177,8 @@ pub(crate) struct Resolved {
     /// `N_max / A`; the reservation is `max_ratio * active_blocks * block_bytes`.
     pub max_ratio: u16,
     pub backing: Backing,
+    /// Deterministic fault schedule to wrap the backing in, if any.
+    pub fault_plan: Option<FaultPlan>,
     /// Divider by `active_blocks`, precomputed at resolve time.
     pub a_div: Divider,
     /// Divider by the *initial* `ratio`, precomputed at resolve time.

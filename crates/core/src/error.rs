@@ -32,7 +32,11 @@ pub enum TraceError {
         /// Index of the metadata block still referenced by a producer.
         meta: usize,
     },
-    /// The memory substrate failed.
+    /// The memory substrate failed after the bounded retry budget was
+    /// exhausted. For a grow this means the tracer fell back to its
+    /// pre-resize geometry and keeps recording (the fallback is counted in
+    /// `Stats::resize_fallbacks` and reflected in
+    /// [`TracerState`](crate::TracerState)); producers are never affected.
     Region(btrace_vmem::RegionError),
 }
 

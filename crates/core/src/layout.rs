@@ -170,7 +170,10 @@ impl RatioHistory {
 
     /// Records that blocks from `from_gpos` onward use `ratio`.
     pub(crate) fn push(&self, from_gpos: u64, ratio: u16) {
-        let mut entries = self.entries.write().expect("ratio history poisoned");
+        // Poison recovery, not propagation: a panicked resize caller can
+        // only have completed or not completed its push (one Vec::push),
+        // both of which leave the history internally consistent.
+        let mut entries = self.entries.write().unwrap_or_else(std::sync::PoisonError::into_inner);
         debug_assert!(entries.last().is_none_or(|e| e.from_gpos <= from_gpos));
         entries.push(HistEntry::new(from_gpos, ratio));
     }
@@ -182,7 +185,9 @@ impl RatioHistory {
     }
 
     fn entry_at(&self, gpos: u64) -> HistEntry {
-        let entries = self.entries.read().expect("ratio history poisoned");
+        // Same recovery rationale as `push`: readers can always use the
+        // history a dead writer left behind.
+        let entries = self.entries.read().unwrap_or_else(std::sync::PoisonError::into_inner);
         entries
             .iter()
             .rev()

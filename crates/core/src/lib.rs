@@ -73,7 +73,7 @@ pub use consumer::{BlockCounts, Consumer, Readout};
 pub use error::TraceError;
 pub use event::Event;
 pub use producer::{Grant, Producer};
-pub use stats::Stats;
+pub use stats::{Degraded, Stats, TracerState};
 #[cfg(feature = "model")]
 pub use sync::model_rt;
 pub use tail::{Polled, TailReader};

@@ -1,6 +1,16 @@
 //! Recording handles: [`Producer`] (per core) and [`Grant`] (two-phase
 //! allocate/commit, the unit the paper's out-of-order confirmation operates
 //! on).
+//!
+//! Producers are insulated from every resource-acquisition failure the
+//! tracer can hit: commit/decommit happens only on the serialized resize
+//! path (never here), a failed grow falls back to the pre-resize geometry,
+//! and a failed reclaim is deferred — in all cases the blocks a producer
+//! can reach are committed, so `record`/`begin`/`commit` keep succeeding
+//! while the tracer reports [`TracerState::Degraded`]
+//! (§3.3's never-block, never-fail guarantee extends to memory pressure).
+//!
+//! [`TracerState::Degraded`]: crate::TracerState::Degraded
 
 use crate::buffer::{Granted, Shared};
 use crate::error::TraceError;

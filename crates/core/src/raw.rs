@@ -21,7 +21,7 @@ pub(crate) struct DataRegion {
 
 impl DataRegion {
     pub(crate) fn new(cfg: &Resolved) -> Result<Self, btrace_vmem::RegionError> {
-        let region = reserve_padded(cfg.max_bytes(), cfg.backing)?;
+        let region = reserve_padded(cfg.max_bytes(), cfg.backing, cfg.fault_plan)?;
         Ok(Self { region, block_bytes: cfg.block_bytes })
     }
 
@@ -126,11 +126,19 @@ impl std::fmt::Debug for DataRegion {
     }
 }
 
-/// Reserves a region of at least `bytes`, rounded up to the page size.
-fn reserve_padded(bytes: usize, backing: Backing) -> Result<Region, btrace_vmem::RegionError> {
+/// Reserves a region of at least `bytes`, rounded up to the page size,
+/// wrapping the backing in a fault schedule when the config asks for one.
+fn reserve_padded(
+    bytes: usize,
+    backing: Backing,
+    fault_plan: Option<btrace_vmem::FaultPlan>,
+) -> Result<Region, btrace_vmem::RegionError> {
     let page = btrace_vmem::PAGE_SIZE;
     let padded = bytes.div_ceil(page) * page;
-    Region::reserve_with(padded, backing)
+    match fault_plan {
+        Some(plan) => Region::reserve_with_faults(padded, backing, plan),
+        None => Region::reserve_with(padded, backing),
+    }
 }
 
 #[cfg(test)]

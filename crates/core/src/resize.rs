@@ -18,16 +18,52 @@
 //!    capacity change drain; new pins observe the shrunken capacity);
 //! 5. decommit the physical pages beyond the new extent.
 
-use crate::buffer::{extent_bytes, BTrace};
+use crate::buffer::{extent_bytes, BTrace, Shared};
 use crate::error::TraceError;
 use crate::meta::Close;
 use crate::packed::RatioPos;
+use crate::stats::degraded;
 use crate::sync::Ordering;
 use std::time::{Duration, Instant};
 
 /// How long a shrink waits for producers holding unconfirmed grants before
 /// giving up with [`TraceError::ResizeTimeout`].
 const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Commit/decommit attempts before a resize gives up on the backing and
+/// degrades (fall back to pre-resize geometry on grow, defer reclaim on
+/// shrink). Transient `ENOMEM` under mobile memory pressure usually clears
+/// within a few reclaim cycles; anything longer is treated as persistent.
+const BACKING_ATTEMPTS: u32 = 4;
+
+/// First retry delay; doubles per attempt (50 µs, 100 µs, 200 µs — a failed
+/// resize costs well under a millisecond before falling back).
+const BACKING_BACKOFF: Duration = Duration::from_micros(50);
+
+/// Runs a backing commit/decommit with bounded exponential backoff. Every
+/// failed attempt bumps `commit_failures` (so the counter equals the number
+/// of injected faults observed, attempt by attempt).
+fn retry_backing_op(
+    shared: &Shared,
+    mut op: impl FnMut() -> Result<(), btrace_vmem::RegionError>,
+) -> Result<(), TraceError> {
+    let mut backoff = BACKING_BACKOFF;
+    let mut last = None;
+    for attempt in 0..BACKING_ATTEMPTS {
+        match op() {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                shared.counters.bump(&shared.counters.commit_failures);
+                last = Some(e);
+                if attempt + 1 < BACKING_ATTEMPTS {
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                }
+            }
+        }
+    }
+    Err(TraceError::Region(last.expect("BACKING_ATTEMPTS >= 1")))
+}
 
 impl BTrace {
     /// Resizes the buffer to `bytes`.
@@ -65,7 +101,26 @@ impl BTrace {
 
     fn resize_ratio(&self, new_ratio: u16) -> Result<(), TraceError> {
         let shared = &self.shared;
-        let _serialize = shared.resize_lock.lock().expect("resize lock poisoned");
+        // A caller that panicked mid-resize poisons the lock but leaves the
+        // protocol in a recoverable state (every publication step below is
+        // individually consistent). Recover the guard instead of propagating
+        // the panic — one dead resizer must not brick all future resizes —
+        // and re-validate the derived geometry before proceeding.
+        let _serialize = match shared.resize_lock.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let guard = poisoned.into_inner();
+                // Un-poison so the *next* resize takes the happy path: the
+                // recovery below leaves the protocol state fully consistent,
+                // and we only want to count (and degrade for) one recovery
+                // per dead resizer, not one per subsequent caller.
+                shared.resize_lock.clear_poison();
+                shared.counters.bump(&shared.counters.lock_recoveries);
+                shared.counters.set_degraded(degraded::LOCK_RECOVERED);
+                revalidate_geometry(shared)?;
+                guard
+            }
+        };
 
         let old = shared.global_pos();
         if old.ratio == new_ratio {
@@ -84,7 +139,17 @@ impl BTrace {
         let new_extent = extent_bytes(&shared.cfg, new_ratio);
         let old_extent = shared.committed_extent.load(Ordering::Acquire);
         if new_extent > old_extent {
-            shared.data.region().commit(old_extent, new_extent - old_extent)?;
+            let region = shared.data.region();
+            if let Err(e) =
+                retry_backing_op(shared, || region.commit(old_extent, new_extent - old_extent))
+            {
+                // Fall back to the pre-resize geometry: the new ratio was
+                // never published, so producers keep recording into the
+                // surviving blocks, unaware a grow was ever attempted.
+                shared.counters.bump(&shared.counters.resize_fallbacks);
+                shared.counters.set_degraded(degraded::COMMIT_FAILED);
+                return Err(e);
+            }
             shared.committed_extent.store(new_extent, Ordering::Release);
         }
 
@@ -176,8 +241,25 @@ impl BTrace {
                 crate::sync::spin_hint();
             }
             if new_extent < old_extent {
-                shared.data.region().decommit(new_extent, old_extent - new_extent)?;
-                shared.committed_extent.store(new_extent, Ordering::Release);
+                let region = shared.data.region();
+                match retry_backing_op(shared, || {
+                    region.decommit(new_extent, old_extent - new_extent)
+                }) {
+                    Ok(()) => {
+                        shared.committed_extent.store(new_extent, Ordering::Release);
+                        shared.counters.clear_degraded(degraded::RECLAIM_DEFERRED);
+                    }
+                    Err(_) => {
+                        // The shrink already took effect logically (ratio,
+                        // capacity, floor, drain) — only physical reclaim
+                        // failed. Keep `committed_extent` at the old
+                        // high-water mark so the next resize whose extent
+                        // drops below it retries this decommit, and report
+                        // the deferral instead of failing a shrink that
+                        // producers already observe.
+                        shared.counters.set_degraded(degraded::RECLAIM_DEFERRED);
+                    }
+                }
             }
         }
 
@@ -186,10 +268,35 @@ impl BTrace {
     }
 }
 
+/// After recovering a poisoned resize lock: a resizer that died mid-protocol
+/// may have published a ratio without finishing the stores that normally
+/// follow it (grow publishes `capacity_blocks` only after the drain). Repair
+/// the derived values from the published ratio, which is the single source
+/// of truth producers map through.
+fn revalidate_geometry(shared: &Shared) -> Result<(), TraceError> {
+    let cur = shared.global_pos();
+    let needed = extent_bytes(&shared.cfg, cur.ratio);
+    let committed = shared.committed_extent.load(Ordering::Acquire);
+    if committed < needed {
+        // Cannot happen via the normal grow order (commit precedes publish),
+        // but a recovered protocol re-establishes its invariants rather than
+        // assuming them.
+        let region = shared.data.region();
+        retry_backing_op(shared, || region.commit(committed, needed - committed))?;
+        shared.committed_extent.store(needed, Ordering::Release);
+    }
+    let blocks = cur.ratio as u64 * shared.active() as u64;
+    if shared.capacity_blocks.load(Ordering::Acquire) != blocks {
+        shared.capacity_blocks.store(blocks, Ordering::Release);
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
-    use crate::{BTrace, Config, TraceError};
-    use btrace_vmem::Backing;
+    use super::BACKING_ATTEMPTS;
+    use crate::{BTrace, Config, TraceError, TracerState};
+    use btrace_vmem::{Backing, FaultPlan};
 
     fn resizable() -> BTrace {
         BTrace::new(
@@ -286,6 +393,125 @@ mod tests {
         );
         grant.commit(1, 0, b"finally!").unwrap();
         shrinker.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn poisoned_resize_lock_is_recovered_and_resize_succeeds() {
+        let t = resizable();
+        let p = t.producer(0).unwrap();
+        for i in 0..20u64 {
+            p.record_with(i, 0, b"pre-poison").unwrap();
+        }
+        // Panic while holding the resize lock, as a resize caller dying
+        // mid-protocol would: unwinding past the guard poisons the mutex.
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = t.shared.resize_lock.lock().unwrap();
+            panic!("resize caller dies mid-resize");
+        }));
+        assert!(poison.is_err());
+        assert!(t.shared.resize_lock.lock().is_err(), "lock must actually be poisoned");
+
+        // The next resize recovers the lock instead of panicking.
+        t.resize_bytes(1024 * 4 * 8).unwrap();
+        assert_eq!(t.capacity_blocks(), 32);
+        assert_eq!(t.stats().lock_recoveries, 1);
+        match t.state() {
+            TracerState::Degraded(d) => assert!(d.lock_recovered),
+            TracerState::Healthy => panic!("lock recovery must be reported as degradation"),
+        }
+        // Producers and further resizes are unaffected.
+        for i in 20..40u64 {
+            p.record_with(i, 0, b"post-recov").unwrap();
+        }
+        t.resize_bytes(1024 * 4 * 2).unwrap();
+        assert_eq!(t.stats().lock_recoveries, 1, "recovery happens once, not per resize");
+    }
+
+    #[test]
+    fn failed_grow_falls_back_to_pre_resize_geometry() {
+        // Every commit after construction fails: the grow must retry, give
+        // up, and leave the pre-resize geometry fully intact.
+        let plan = FaultPlan::new(0xBAD_C0DE).commit_failure_rate(1.0).arm_after_ops(1);
+        let t = BTrace::new(
+            Config::new(2)
+                .active_blocks(4)
+                .block_bytes(1024)
+                .buffer_bytes(1024 * 4 * 2)
+                .max_bytes(1024 * 4 * 8)
+                .backing(Backing::Heap)
+                .fault_plan(plan),
+        )
+        .unwrap();
+        let p = t.producer(0).unwrap();
+        for i in 0..50u64 {
+            p.record_with(i, 0, b"pre-grow").unwrap();
+        }
+        let err = t.resize_bytes(1024 * 4 * 8).unwrap_err();
+        assert!(matches!(err, TraceError::Region(_)), "got {err:?}");
+        assert_eq!(t.capacity_blocks(), 8, "fallback must keep the old geometry");
+        let s = t.stats();
+        assert_eq!(s.resize_fallbacks, 1);
+        assert_eq!(s.commit_failures, u64::from(BACKING_ATTEMPTS), "one bump per attempt");
+        assert_eq!(s.resizes, 0, "a fallen-back resize never counts as completed");
+        match t.state() {
+            TracerState::Degraded(d) => {
+                assert!(d.commit_failed);
+                assert_eq!(d.resize_fallbacks, 1);
+            }
+            TracerState::Healthy => panic!("fallback must surface as Degraded"),
+        }
+        // Producers never noticed: recording continues into surviving blocks.
+        for i in 50..100u64 {
+            p.record_with(i, 0, b"post-fail").unwrap();
+        }
+        assert_eq!(t.stats().records, 100);
+        let faults = t.fault_stats().unwrap();
+        assert_eq!(faults.commit_faults, u64::from(BACKING_ATTEMPTS));
+    }
+
+    #[test]
+    fn failed_shrink_decommit_defers_reclaim_until_it_heals() {
+        // Decommits fail exactly BACKING_ATTEMPTS times once armed, then the
+        // plan goes quiet — the first shrink defers reclaim, the second
+        // completes it.
+        let plan = FaultPlan::new(7)
+            .decommit_failure_rate(1.0)
+            .arm_after_ops(2) // construction commit + grow commit
+            .max_faults(u64::from(BACKING_ATTEMPTS));
+        let t = BTrace::new(
+            Config::new(2)
+                .active_blocks(4)
+                .block_bytes(1024)
+                .buffer_bytes(1024 * 4 * 2)
+                .max_bytes(1024 * 4 * 8)
+                .backing(Backing::Heap)
+                .fault_plan(plan),
+        )
+        .unwrap();
+        t.resize_bytes(1024 * 4 * 8).unwrap();
+
+        // Shrink: logically succeeds, physical reclaim is deferred.
+        t.resize_bytes(1024 * 4).unwrap();
+        assert_eq!(t.capacity_blocks(), 4, "logical shrink must take effect");
+        match t.state() {
+            TracerState::Degraded(d) => assert!(d.reclaim_deferred),
+            TracerState::Healthy => panic!("deferred reclaim must surface as Degraded"),
+        }
+        assert_eq!(t.fault_stats().unwrap().decommit_faults, u64::from(BACKING_ATTEMPTS));
+
+        // Growing back within the still-committed extent needs no commit at
+        // all — the deferred pages are simply reused.
+        t.resize_bytes(1024 * 4 * 8).unwrap();
+        assert_eq!(t.fault_stats().unwrap().commit_faults, 0);
+
+        // The next shrink retries the decommit (plan exhausted → succeeds)
+        // and the degradation heals.
+        t.resize_bytes(1024 * 4).unwrap();
+        assert_eq!(t.state(), TracerState::Healthy);
+        let s = t.stats();
+        assert_eq!(s.commit_failures, u64::from(BACKING_ATTEMPTS));
+        assert_eq!(s.resize_fallbacks, 0, "shrinks never fall back, they defer");
+        assert_eq!(s.resizes, 4, "all four resizes completed, deferral included");
     }
 
     #[test]

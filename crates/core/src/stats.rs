@@ -76,6 +76,26 @@ pub(crate) struct Counters {
     pub skips: AtomicU64,
     pub straggler_repairs: AtomicU64,
     pub resizes: AtomicU64,
+    pub commit_failures: AtomicU64,
+    pub resize_fallbacks: AtomicU64,
+    pub lock_recoveries: AtomicU64,
+    /// Live degradation condition, a bitset of [`degraded`] flags. Not a
+    /// counter: set when a failure edge fires, and `RECLAIM_DEFERRED`
+    /// clears again once the deferred reclaim finally lands.
+    pub degraded: AtomicU64,
+}
+
+/// Bit assignments for [`Counters::degraded`].
+pub(crate) mod degraded {
+    /// A backing commit kept failing after retries; the last grow fell back
+    /// to its pre-resize geometry.
+    pub const COMMIT_FAILED: u64 = 1 << 0;
+    /// A shrink completed logically but its decommit kept failing; physical
+    /// reclaim is deferred to a later resize.
+    pub const RECLAIM_DEFERRED: u64 = 1 << 1;
+    /// The resize lock was found poisoned by a panicked caller and was
+    /// recovered (geometry re-validated).
+    pub const LOCK_RECOVERED: u64 = 1 << 2;
 }
 
 impl Counters {
@@ -88,7 +108,25 @@ impl Counters {
             skips: AtomicU64::new(0),
             straggler_repairs: AtomicU64::new(0),
             resizes: AtomicU64::new(0),
+            commit_failures: AtomicU64::new(0),
+            resize_fallbacks: AtomicU64::new(0),
+            lock_recoveries: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
         }
+    }
+
+    /// Raises a [`degraded`] condition flag.
+    pub(crate) fn set_degraded(&self, bit: u64) {
+        self.degraded.fetch_or(bit, Ordering::Relaxed);
+    }
+
+    /// Clears a [`degraded`] condition flag (the condition healed).
+    pub(crate) fn clear_degraded(&self, bit: u64) {
+        self.degraded.fetch_and(!bit, Ordering::Relaxed);
+    }
+
+    pub(crate) fn degraded_bits(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     #[inline]
@@ -135,7 +173,27 @@ impl Counters {
             skips: self.skips.load(Ordering::Relaxed),
             straggler_repairs: self.straggler_repairs.load(Ordering::Relaxed),
             resizes: self.resizes.load(Ordering::Relaxed),
+            commit_failures: self.commit_failures.load(Ordering::Relaxed),
+            resize_fallbacks: self.resize_fallbacks.load(Ordering::Relaxed),
+            lock_recoveries: self.lock_recoveries.load(Ordering::Relaxed),
         }
+    }
+
+    /// Builds the typed degradation state from the flag bits and counters.
+    pub(crate) fn state(&self) -> TracerState {
+        let bits = self.degraded_bits();
+        if bits == 0 {
+            return TracerState::Healthy;
+        }
+        let s = self.snapshot();
+        TracerState::Degraded(Degraded {
+            commit_failed: bits & degraded::COMMIT_FAILED != 0,
+            reclaim_deferred: bits & degraded::RECLAIM_DEFERRED != 0,
+            lock_recovered: bits & degraded::LOCK_RECOVERED != 0,
+            commit_failures: s.commit_failures,
+            resize_fallbacks: s.resize_fallbacks,
+            lock_recoveries: s.lock_recoveries,
+        })
     }
 }
 
@@ -162,6 +220,13 @@ pub struct Stats {
     pub straggler_repairs: u64,
     /// Completed resize operations.
     pub resizes: u64,
+    /// Backing commit/decommit attempts that failed (each retry counts).
+    pub commit_failures: u64,
+    /// Resizes abandoned after exhausting commit retries, falling back to
+    /// the pre-resize geometry.
+    pub resize_fallbacks: u64,
+    /// Poisoned resize locks recovered instead of propagating the panic.
+    pub lock_recoveries: u64,
 }
 
 impl Stats {
@@ -196,9 +261,76 @@ impl Stats {
     }
 }
 
+/// Detail of a [`TracerState::Degraded`] report: which conditions are live
+/// and the exact failure counters behind them.
+///
+/// The tracer *never* stops recording while degraded — producers keep
+/// writing into the surviving blocks (§3.3's never-block guarantee extends
+/// to resource-acquisition failure). Degradation means a resize could not
+/// fully take effect or a reclaim is pending.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Degraded {
+    /// A backing commit kept failing after retries; the last grow fell back
+    /// to its pre-resize geometry.
+    pub commit_failed: bool,
+    /// A shrink completed logically but physical reclaim is deferred; a
+    /// later resize retries the decommit. Clears once reclaim lands.
+    pub reclaim_deferred: bool,
+    /// A resize caller panicked and poisoned the resize lock; the lock was
+    /// recovered and the geometry re-validated.
+    pub lock_recovered: bool,
+    /// Total failed commit/decommit attempts (retries included).
+    pub commit_failures: u64,
+    /// Resizes that fell back to their pre-resize geometry.
+    pub resize_fallbacks: u64,
+    /// Poisoned-lock recoveries performed.
+    pub lock_recoveries: u64,
+}
+
+/// Current health of the tracer, from [`BTrace::state`](crate::BTrace::state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TracerState {
+    /// Every resource-acquisition edge has behaved so far.
+    Healthy,
+    /// A failure edge fired; recording continues on surviving blocks.
+    Degraded(Degraded),
+}
+
+impl TracerState {
+    /// Whether any degradation condition is live.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, TracerState::Degraded(_))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn degraded_state_reflects_flags_and_counters() {
+        let c = Counters::new(1);
+        assert_eq!(c.state(), TracerState::Healthy);
+        c.bump(&c.commit_failures);
+        c.bump(&c.resize_fallbacks);
+        c.set_degraded(degraded::COMMIT_FAILED);
+        match c.state() {
+            TracerState::Degraded(d) => {
+                assert!(d.commit_failed);
+                assert!(!d.reclaim_deferred);
+                assert_eq!(d.commit_failures, 1);
+                assert_eq!(d.resize_fallbacks, 1);
+            }
+            TracerState::Healthy => panic!("flag set, must be degraded"),
+        }
+        // A healed condition clears its flag.
+        c.set_degraded(degraded::RECLAIM_DEFERRED);
+        c.clear_degraded(degraded::RECLAIM_DEFERRED);
+        c.clear_degraded(degraded::COMMIT_FAILED);
+        assert_eq!(c.state(), TracerState::Healthy);
+    }
 
     #[test]
     fn snapshot_reflects_bumps() {

@@ -281,5 +281,11 @@ pub mod model_rt {
                 }
             }
         }
+
+        /// Clears the poison flag, mirroring
+        /// [`std::sync::Mutex::clear_poison`].
+        pub fn clear_poison(&self) {
+            self.inner.clear_poison();
+        }
     }
 }

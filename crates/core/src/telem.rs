@@ -131,6 +131,13 @@ pub(crate) fn health_snapshot(shared: &Shared) -> HealthSnapshot {
         skips: stats.skips,
         straggler_repairs: stats.straggler_repairs,
         resizes: stats.resizes,
+        commit_failures: stats.commit_failures,
+        resize_fallbacks: stats.resize_fallbacks,
+        lock_recoveries: stats.lock_recoveries,
+        // Export I/O counters live with the exporters; the Sampler fills
+        // them in when it owns the export loop.
+        export_retries: 0,
+        export_drops: 0,
         effectivity_observed: stats.effectivity_ratio(),
         effectivity_bound: 1.0 - active as f64 / capacity_blocks.max(1) as f64,
         skip_rate: stats.skip_rate(),

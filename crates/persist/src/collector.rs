@@ -1,7 +1,9 @@
 //! The collector daemon: dump-on-symptom with on-disk rotation (§2.1, §6).
 
 use crate::dump::{DumpError, TraceDump};
+use crate::export::RetryPolicy;
 use btrace_core::sink::TraceSink;
+use btrace_telemetry::ExportIoStats;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,12 +17,20 @@ pub struct CollectorConfig {
     pub keep: usize,
     /// File name prefix (`<prefix>-<seq>.btd`).
     pub prefix: String,
+    /// Retry schedule for dump writes; after it is exhausted the trigger
+    /// fails (and counts a drop) instead of blocking the anomaly path.
+    pub retry: RetryPolicy,
 }
 
 impl CollectorConfig {
     /// A collector writing to `directory` keeping the 5 most recent dumps.
     pub fn new(directory: impl Into<PathBuf>) -> Self {
-        Self { directory: directory.into(), keep: 5, prefix: "trace".to_string() }
+        Self {
+            directory: directory.into(),
+            keep: 5,
+            prefix: "trace".to_string(),
+            retry: RetryPolicy::default(),
+        }
     }
 
     /// Sets how many dumps to retain.
@@ -32,6 +42,12 @@ impl CollectorConfig {
     /// Sets the file name prefix.
     pub fn prefix(mut self, prefix: impl Into<String>) -> Self {
         self.prefix = prefix.into();
+        self
+    }
+
+    /// Sets the dump-write retry schedule.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -46,6 +62,8 @@ pub struct Collector<S> {
     sink: Arc<S>,
     config: CollectorConfig,
     seq: AtomicU64,
+    io_retries: AtomicU64,
+    io_drops: AtomicU64,
 }
 
 impl<S: TraceSink> Collector<S> {
@@ -56,22 +74,52 @@ impl<S: TraceSink> Collector<S> {
     /// Propagates directory-creation failures.
     pub fn new(sink: Arc<S>, config: CollectorConfig) -> Result<Self, DumpError> {
         std::fs::create_dir_all(&config.directory)?;
-        Ok(Self { sink, config, seq: AtomicU64::new(0) })
+        Ok(Self {
+            sink,
+            config,
+            seq: AtomicU64::new(0),
+            io_retries: AtomicU64::new(0),
+            io_drops: AtomicU64::new(0),
+        })
     }
 
     /// Drains the tracer and persists a dump labelled `symptom`. Returns the
     /// dump's path.
     ///
+    /// The dump write runs under the configured [`RetryPolicy`]; the drained
+    /// events live in memory until the write lands, so a transient sink
+    /// error loses nothing. A persistent one gives up after the budget —
+    /// that dump is lost (counted in [`io_stats`](Collector::io_stats)) but
+    /// the anomaly path is never wedged.
+    ///
     /// # Errors
     ///
-    /// Propagates serialization and rotation I/O failures.
+    /// Propagates serialization and rotation I/O failures after retries are
+    /// exhausted.
     pub fn trigger(&self, symptom: &str) -> Result<PathBuf, DumpError> {
         let seq = self.seq.fetch_add(1, Ordering::SeqCst);
         let dump = TraceDump::capture(symptom, self.sink.as_ref());
         let path = self.config.directory.join(format!("{}-{seq:06}.btd", self.config.prefix));
-        dump.write_to(&path)?;
+        let mut io = ExportIoStats::default();
+        let wrote = self.config.retry.run(&mut io, || {
+            dump.write_to(&path).map_err(|e| match e {
+                DumpError::Io(io_err) => io_err,
+                other => std::io::Error::other(other.to_string()),
+            })
+        });
+        self.io_retries.fetch_add(io.retries, Ordering::Relaxed);
+        self.io_drops.fetch_add(io.drops, Ordering::Relaxed);
+        wrote?;
         self.rotate()?;
         Ok(path)
+    }
+
+    /// Cumulative retry/drop accounting for dump writes.
+    pub fn io_stats(&self) -> ExportIoStats {
+        ExportIoStats {
+            retries: self.io_retries.load(Ordering::Relaxed),
+            drops: self.io_drops.load(Ordering::Relaxed),
+        }
     }
 
     /// Paths of the currently retained dumps, oldest first.
@@ -150,6 +198,32 @@ mod tests {
         let labels: Vec<String> =
             dumps.iter().map(|p| TraceDump::read_from(p).unwrap().label().to_string()).collect();
         assert_eq!(labels, vec!["symptom-4", "symptom-5", "symptom-6"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_dump_write_is_dropped_and_counted() {
+        let dir = tmpdir("retry");
+        let sink = tracer();
+        sink.producer(0).unwrap().record_with(1, 0, b"evidence").unwrap();
+        let collector = Collector::new(
+            Arc::clone(&sink),
+            CollectorConfig::new(&dir).retry(crate::export::RetryPolicy {
+                attempts: 2,
+                backoff: std::time::Duration::from_micros(10),
+            }),
+        )
+        .unwrap();
+        // Yank the directory out from under the collector: writes fail.
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(collector.trigger("anr").is_err());
+        assert_eq!(collector.io_stats(), ExportIoStats { retries: 1, drops: 1 });
+
+        // The sink heals; triggering works again and counters stand still.
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = collector.trigger("anr-again").unwrap();
+        assert!(path.exists());
+        assert_eq!(collector.io_stats(), ExportIoStats { retries: 1, drops: 1 });
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -42,4 +42,4 @@ mod export;
 
 pub use collector::{Collector, CollectorConfig};
 pub use dump::{DumpError, TraceDump};
-pub use export::{read_jsonl, JsonlExporter, PrometheusExporter};
+pub use export::{read_jsonl, JsonlExporter, PrometheusExporter, RetryPolicy};

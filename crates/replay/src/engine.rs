@@ -147,6 +147,7 @@ impl Replayer {
         let cores = scenario.cores();
         let stamp = AtomicU64::new(0);
         let barrier = Barrier::new(cores);
+        let syncs = syncs_per_slice(scenario, config, sink.capacity_bytes());
         let start = Instant::now();
 
         let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
@@ -154,7 +155,9 @@ impl Replayer {
                 .map(|core| {
                     let stamp = &stamp;
                     let barrier = &barrier;
-                    scope.spawn(move || run_core(sink, scenario, config, core, stamp, barrier))
+                    scope.spawn(move || {
+                        run_core(sink, scenario, config, core, stamp, barrier, syncs)
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("replay worker panicked")).collect()
@@ -198,6 +201,33 @@ impl ReplayReport {
     }
 }
 
+/// How many barrier synchronizations to run per time slice.
+///
+/// The slice barrier keeps the *relative* production rates across cores
+/// honest, but on a loaded host (CI runners, 1-CPU machines) the OS can
+/// deschedule one worker for long enough that the others produce a whole
+/// slice quota around it — enough to wrap a small buffer over blocks the
+/// laggard's parked grants still pin, which skip-recycling then discards.
+/// That cross-core skew is an artifact of the *replay host*, not of the
+/// modeled phone, so bound it: add intra-slice barriers whenever one
+/// slice's global production spans a large fraction of the sink's
+/// capacity, capping the skew at roughly `capacity / 8` bytes of global
+/// production between synchronization points.
+fn syncs_per_slice(scenario: &Scenario, config: &ReplayConfig, capacity_bytes: usize) -> u64 {
+    let slices = config.slices.max(1) as u64;
+    let total_events: u64 = (0..scenario.cores())
+        .map(|core| {
+            (scenario.core_rates[core] as f64 * crate::model::TRACE_SECONDS as f64 * config.scale)
+                .round() as u64
+        })
+        .sum();
+    let mean_entry = btrace_core::event::encoded_len(scenario.mean_payload as usize) as u64;
+    let slice_bytes = (total_events / slices) * mean_entry;
+    let chunk = (capacity_bytes as u64 / 8).max(1);
+    slice_bytes.div_ceil(chunk).clamp(1, 64)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_core<S: TraceSink>(
     sink: &S,
     scenario: &Scenario,
@@ -205,6 +235,7 @@ fn run_core<S: TraceSink>(
     core: usize,
     stamp: &AtomicU64,
     barrier: &Barrier,
+    syncs: u64,
 ) -> WorkerOut {
     let mut rng =
         StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(core as u64));
@@ -253,57 +284,74 @@ fn run_core<S: TraceSink>(
         // Context switch cadence: roughly `window` switches per slice.
         let quantum = (n / window.max(1)).max(1);
         let mut current = 0u64;
+        let mut i = 0u64;
 
-        for i in 0..n {
-            if i % quantum == 0 {
-                current = (window_base + rng.gen_range(0..window)) % total_threads;
-            }
-            let ctx = &mut threads[current as usize];
-            // A running thread first finishes any interrupted write (it is
-            // by definition no longer preempted).
-            if let Some(p) = ctx.pending.take() {
-                p.grant.commit(p.stamp, p.tid, &PAYLOAD[..p.payload_len]);
-                parked -= 1;
-            }
-            tids_seen.insert(ctx.tid);
-            let payload_len = sample_payload(&mut rng, scenario.mean_payload);
-            let s = stamp.fetch_add(1, Ordering::Relaxed);
-            out.written += 1;
-            out.written_bytes += btrace_core::event::encoded_len(payload_len) as u64;
-
-            let timing = sample_every != 0 && out.written.is_multiple_of(sample_every);
-            let t0 = timing.then(Instant::now);
-
-            if preemptible && parked < max_parked && rng.gen::<f32>() < scenario.preempt_mid_write {
-                // Reserve now, get "preempted", commit on reschedule.
-                match sink.try_begin(core, ctx.tid, payload_len) {
-                    Begin::Granted(grant) => {
-                        ctx.pending = Some(Pending { grant, stamp: s, payload_len, tid: ctx.tid });
-                        parked += 1;
-                    }
-                    Begin::Dropped => out.dropped += 1,
+        // `syncs` intra-slice barriers bound cross-core skew (see
+        // `syncs_per_slice`); every core performs exactly `syncs` waits per
+        // slice regardless of its own quota, so the barrier count matches.
+        for sync in 0..syncs {
+            let chunk_end = n * (sync + 1) / syncs;
+            while i < chunk_end {
+                if i.is_multiple_of(quantum) {
+                    current = (window_base + rng.gen_range(0..window)) % total_threads;
                 }
-            } else if sink.record(core, ctx.tid, s, &PAYLOAD[..payload_len])
-                == RecordOutcome::Dropped
-            {
-                out.dropped += 1;
-            }
+                let ctx = &mut threads[current as usize];
+                // A running thread first finishes any interrupted write (it
+                // is by definition no longer preempted).
+                if let Some(p) = ctx.pending.take() {
+                    p.grant.commit(p.stamp, p.tid, &PAYLOAD[..p.payload_len]);
+                    parked -= 1;
+                }
+                tids_seen.insert(ctx.tid);
+                let payload_len = sample_payload(&mut rng, scenario.mean_payload);
+                let s = stamp.fetch_add(1, Ordering::Relaxed);
+                out.written += 1;
+                out.written_bytes += btrace_core::event::encoded_len(payload_len) as u64;
 
-            if let Some(t0) = t0 {
-                out.latencies.push(t0.elapsed().as_nanos() as u64);
+                let timing = sample_every != 0 && out.written.is_multiple_of(sample_every);
+                let t0 = timing.then(Instant::now);
+
+                if preemptible
+                    && parked < max_parked
+                    && rng.gen::<f32>() < scenario.preempt_mid_write
+                {
+                    // Reserve now, get "preempted", commit on reschedule.
+                    match sink.try_begin(core, ctx.tid, payload_len) {
+                        Begin::Granted(grant) => {
+                            ctx.pending =
+                                Some(Pending { grant, stamp: s, payload_len, tid: ctx.tid });
+                            parked += 1;
+                        }
+                        Begin::Dropped => out.dropped += 1,
+                    }
+                } else if sink.record(core, ctx.tid, s, &PAYLOAD[..payload_len])
+                    == RecordOutcome::Dropped
+                {
+                    out.dropped += 1;
+                }
+
+                if let Some(t0) = t0 {
+                    out.latencies.push(t0.elapsed().as_nanos() as u64);
+                }
+                i += 1;
             }
+            if sync + 1 == syncs {
+                // Preemption is transient (§2.2): a parked writer is
+                // rescheduled within its slice, never across one. Flushing
+                // here keeps a laggard core's parked grants from pinning
+                // blocks through the next slice's production.
+                for ctx in &mut threads {
+                    if let Some(p) = ctx.pending.take() {
+                        p.grant.commit(p.stamp, p.tid, &PAYLOAD[..p.payload_len]);
+                        parked -= 1;
+                    }
+                }
+            }
+            barrier.wait();
         }
-        barrier.wait();
     }
 
-    // Threads eventually run again: flush every parked reservation.
-    for ctx in &mut threads {
-        if let Some(p) = ctx.pending.take() {
-            p.grant.commit(p.stamp, p.tid, &PAYLOAD[..p.payload_len]);
-            parked -= 1;
-        }
-    }
-    debug_assert_eq!(parked, 0);
+    debug_assert_eq!(parked, 0, "every parked grant flushed at its slice boundary");
     out.tids = tids_seen.len();
     out
 }

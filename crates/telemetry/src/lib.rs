@@ -48,5 +48,5 @@ mod sampler;
 mod snapshot;
 
 pub use hist::{Histogram, HistogramSnapshot, ShardedHistogram, NUM_BUCKETS};
-pub use sampler::{Exporter, Sampler, SamplerConfig, SnapshotSource};
+pub use sampler::{ExportIoStats, Exporter, Sampler, SamplerConfig, SnapshotSource};
 pub use snapshot::{CoreHealth, HealthSnapshot, LatencySummary, Rates};

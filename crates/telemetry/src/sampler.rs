@@ -28,6 +28,23 @@ impl<S: SnapshotSource + ?Sized> SnapshotSource for Arc<S> {
     }
 }
 
+/// Cumulative I/O accounting for an [`Exporter`] that retries and drops on
+/// sink errors (bounded retry-with-backoff, drop-and-count overflow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExportIoStats {
+    /// Retries performed after a failed sink write.
+    pub retries: u64,
+    /// Snapshots dropped after exhausting the retry budget.
+    pub drops: u64,
+}
+
+impl ExportIoStats {
+    /// Element-wise sum, for aggregating across exporters.
+    pub fn merge(self, other: ExportIoStats) -> ExportIoStats {
+        ExportIoStats { retries: self.retries + other.retries, drops: self.drops + other.drops }
+    }
+}
+
 /// A sink for sampled snapshots (JSONL file, Prometheus textfile, stdout
 /// table, ...). Exporters run on the sampler thread, one snapshot at a
 /// time, so implementations need no internal locking.
@@ -39,6 +56,13 @@ pub trait Exporter: Send {
     /// Flushes any buffered output; called once at shutdown.
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
+    }
+
+    /// Retry/drop accounting, when the exporter keeps any. The sampler sums
+    /// these into each snapshot's `export_retries`/`export_drops` fields so
+    /// sink trouble is visible in the exported stream itself.
+    fn io_stats(&self) -> ExportIoStats {
+        ExportIoStats::default()
     }
 }
 
@@ -107,6 +131,14 @@ impl Sampler {
                     if let Some((prev_at, prev_snap)) = &prev {
                         fill_rates(&mut snap, prev_snap, now.duration_since(*prev_at));
                     }
+                    // Sink trouble up to (but not including) this export is
+                    // part of the health report being exported.
+                    let io = exporters
+                        .iter()
+                        .map(|e| e.io_stats())
+                        .fold(ExportIoStats::default(), ExportIoStats::merge);
+                    snap.export_retries = io.retries;
+                    snap.export_drops = io.drops;
                     for exporter in &mut exporters {
                         if exporter.export(&snap).is_err() {
                             thread_shared.export_errors.fetch_add(1, Relaxed);

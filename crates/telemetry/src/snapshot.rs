@@ -165,6 +165,16 @@ pub struct HealthSnapshot {
     pub straggler_repairs: u64,
     /// Cumulative buffer resizes.
     pub resizes: u64,
+    /// Cumulative failed backing commit/decommit attempts (retries count).
+    pub commit_failures: u64,
+    /// Resizes that fell back to their pre-resize geometry.
+    pub resize_fallbacks: u64,
+    /// Poisoned resize locks recovered.
+    pub lock_recoveries: u64,
+    /// Exporter I/O retries performed (filled by the sampler).
+    pub export_retries: u64,
+    /// Snapshots dropped after exhausting exporter retries (sampler).
+    pub export_drops: u64,
     /// Observed effectivity: recorded bytes over recorded + dummy bytes.
     pub effectivity_observed: f64,
     /// The paper's effectivity bound `1 − A/N`.
@@ -205,6 +215,11 @@ impl HealthSnapshot {
             ("skips".into(), Json::from_u64(self.skips)),
             ("straggler_repairs".into(), Json::from_u64(self.straggler_repairs)),
             ("resizes".into(), Json::from_u64(self.resizes)),
+            ("commit_failures".into(), Json::from_u64(self.commit_failures)),
+            ("resize_fallbacks".into(), Json::from_u64(self.resize_fallbacks)),
+            ("lock_recoveries".into(), Json::from_u64(self.lock_recoveries)),
+            ("export_retries".into(), Json::from_u64(self.export_retries)),
+            ("export_drops".into(), Json::from_u64(self.export_drops)),
             ("effectivity_observed".into(), Json::from_f64(self.effectivity_observed)),
             ("effectivity_bound".into(), Json::from_f64(self.effectivity_bound)),
             ("skip_rate".into(), Json::from_f64(self.skip_rate)),
@@ -244,6 +259,11 @@ impl HealthSnapshot {
             skips: v.get("skips")?.as_u64()?,
             straggler_repairs: v.get("straggler_repairs")?.as_u64()?,
             resizes: v.get("resizes")?.as_u64()?,
+            commit_failures: v.get("commit_failures")?.as_u64()?,
+            resize_fallbacks: v.get("resize_fallbacks")?.as_u64()?,
+            lock_recoveries: v.get("lock_recoveries")?.as_u64()?,
+            export_retries: v.get("export_retries")?.as_u64()?,
+            export_drops: v.get("export_drops")?.as_u64()?,
             effectivity_observed: v.get("effectivity_observed")?.as_f64()?,
             effectivity_bound: v.get("effectivity_bound")?.as_f64()?,
             skip_rate: v.get("skip_rate")?.as_f64()?,
@@ -279,6 +299,15 @@ impl HealthSnapshot {
             ("skips_total", "Blocks skipped.", self.skips),
             ("straggler_repairs_total", "Straggler repairs.", self.straggler_repairs),
             ("resizes_total", "Buffer resizes.", self.resizes),
+            ("commit_failures_total", "Failed backing commit attempts.", self.commit_failures),
+            (
+                "resize_fallbacks_total",
+                "Resizes fallen back to old geometry.",
+                self.resize_fallbacks,
+            ),
+            ("lock_recoveries_total", "Poisoned resize locks recovered.", self.lock_recoveries),
+            ("export_retries_total", "Exporter I/O retries.", self.export_retries),
+            ("export_drops_total", "Snapshots dropped after exporter retries.", self.export_drops),
         ] {
             family(&mut out, "counter", name, help, &value.to_string());
         }
@@ -382,6 +411,11 @@ mod tests {
             skips: 1,
             straggler_repairs: 0,
             resizes: 2,
+            commit_failures: 5,
+            resize_fallbacks: 1,
+            lock_recoveries: 1,
+            export_retries: 3,
+            export_drops: 1,
             effectivity_observed: 0.999,
             effectivity_bound: 0.9375,
             skip_rate: 0.1,
@@ -440,6 +474,9 @@ mod tests {
         assert!(text.contains("btrace_core_records_total{core=\"1\"} 400"));
         assert!(text.contains("btrace_record_latency_ns{quantile=\"0.99\"} 31"));
         assert!(text.contains("btrace_effectivity_bound 0.9375"));
+        assert!(text.contains("# TYPE btrace_commit_failures_total counter"));
+        assert!(text.contains("btrace_commit_failures_total 5"));
+        assert!(text.contains("btrace_export_drops_total 1"));
         // Every line is either a comment or `name[{labels}] value`.
         for line in text.lines() {
             assert!(line.starts_with('#') || line.contains(' '), "bad line: {line}");

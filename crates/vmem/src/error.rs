@@ -55,6 +55,17 @@ impl fmt::Display for RegionError {
 
 impl Error for RegionError {}
 
+/// Internal commit failure that carries how much of the range landed before
+/// the fault, so [`Region::commit`](crate::Region::commit) can decommit the
+/// prefix and keep bitmap and backing state in agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CommitFault {
+    /// Raw errno of the failing call.
+    pub(crate) errno: i32,
+    /// Bytes successfully committed before the failure (a page multiple).
+    pub(crate) committed: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,7 +3,7 @@
 //! decommitted pages are poisoned in debug builds so a use-after-decommit is
 //! observable (the portable stand-in for the SIGSEGV a real `munmap` gives).
 
-use crate::error::RegionError;
+use crate::error::{CommitFault, RegionError};
 use crate::PAGE_SIZE;
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 
@@ -38,7 +38,9 @@ impl HeapBacking {
     }
 
     /// Zero the range, mirroring the fresh-page guarantee of anonymous mmap.
-    pub(crate) fn commit(&self, offset: usize, len: usize) -> Result<(), RegionError> {
+    /// Infallible for a resident heap allocation, but typed like the mmap
+    /// backend so [`Region`](crate::Region) treats both uniformly.
+    pub(crate) fn commit(&self, offset: usize, len: usize) -> Result<(), CommitFault> {
         // SAFETY: caller validated the range against the reservation.
         unsafe { self.ptr.add(offset).write_bytes(0, len) };
         Ok(())

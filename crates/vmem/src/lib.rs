@@ -36,12 +36,14 @@
 
 mod bitmap;
 mod error;
+pub mod fault;
 mod heap;
 #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
 mod mmap;
 mod region;
 
 pub use error::RegionError;
+pub use fault::{FaultPlan, FaultStats};
 pub use region::{Backing, Region};
 
 /// Granularity of commit/decommit operations, in bytes.

@@ -2,8 +2,9 @@
 //!
 //! The reservation is one anonymous, `MAP_NORESERVE` private mapping sized at
 //! the maximum buffer size — the address never changes across resizes, which
-//! is what lets BTrace keep producer-visible offsets stable (§4.4). Commit is
-//! a no-op beyond bookkeeping (pages fault in on first touch); decommit uses
+//! is what lets BTrace keep producer-visible offsets stable (§4.4). Commit
+//! advises the kernel with `madvise(MADV_WILLNEED)` in bounded chunks (so a
+//! mid-range failure reports its committed prefix); decommit uses
 //! `madvise(MADV_DONTNEED)` to return physical pages while keeping the
 //! virtual range mapped, mirroring what the paper's in-kernel deployment does
 //! with its buffer pool.
@@ -11,14 +12,19 @@
 //! Syscalls are issued directly via inline assembly so the crate needs no
 //! libc dependency (the allowed offline crate set does not include one).
 
-use crate::error::RegionError;
+use crate::error::{CommitFault, RegionError};
 
 const PROT_READ: usize = 1;
 const PROT_WRITE: usize = 2;
 const MAP_PRIVATE: usize = 0x02;
 const MAP_ANONYMOUS: usize = 0x20;
 const MAP_NORESERVE: usize = 0x4000;
+const MADV_WILLNEED: usize = 3;
 const MADV_DONTNEED: usize = 4;
+
+/// Commits are issued to the kernel in chunks of this many bytes so a
+/// mid-range failure can report exactly how much of the range landed.
+const COMMIT_CHUNK: usize = 16 << 20;
 
 #[cfg(target_arch = "x86_64")]
 mod nr {
@@ -132,9 +138,35 @@ impl MmapBacking {
         self.ptr
     }
 
-    pub(crate) fn commit(&self, _offset: usize, _len: usize) -> Result<(), RegionError> {
-        // Pages of an anonymous mapping fault in zeroed on first touch;
-        // nothing to do beyond the caller's bookkeeping.
+    /// Commits `[offset, offset + len)` chunk by chunk. Pages of an
+    /// anonymous mapping fault in zeroed on first touch either way;
+    /// `MADV_WILLNEED` tells the kernel the range is about to be used and —
+    /// unlike the old no-op — makes commit an operation that can *fail*,
+    /// e.g. under memory pressure. On a mid-range failure the returned
+    /// [`CommitFault`] carries the committed prefix so `Region::commit` can
+    /// decommit it and keep the bitmap and kernel state from diverging.
+    pub(crate) fn commit(&self, offset: usize, len: usize) -> Result<(), CommitFault> {
+        let mut done = 0;
+        while done < len {
+            let chunk = COMMIT_CHUNK.min(len - done);
+            // SAFETY: range validated by the caller; WILLNEED only hints
+            // population and preserves the fresh-zero guarantee.
+            let ret = unsafe {
+                syscall6(
+                    nr::MADVISE,
+                    self.ptr as usize + offset + done,
+                    chunk,
+                    MADV_WILLNEED,
+                    0,
+                    0,
+                    0,
+                )
+            };
+            if ret < 0 {
+                return Err(CommitFault { errno: (-ret) as i32, committed: done });
+            }
+            done += chunk;
+        }
         Ok(())
     }
 

@@ -1,5 +1,8 @@
 use crate::bitmap::PageBitmap;
-use crate::error::RegionError;
+use crate::error::{CommitFault, RegionError};
+use crate::fault::{
+    CommitDecision, DecommitDecision, FaultInjector, FaultPlan, FaultStats, ENOMEM,
+};
 use crate::heap::HeapBacking;
 use crate::PAGE_SIZE;
 
@@ -68,6 +71,7 @@ pub struct Region {
     backing: BackingImpl,
     bitmap: PageBitmap,
     max_bytes: usize,
+    faults: Option<FaultInjector>,
 }
 
 impl Region {
@@ -89,6 +93,32 @@ impl Region {
     ///
     /// Same conditions as [`Region::reserve`].
     pub fn reserve_with(max_bytes: usize, backing: Backing) -> Result<Self, RegionError> {
+        Self::reserve_inner(max_bytes, backing, None)
+    }
+
+    /// Reserves `max_bytes` with a deterministic [`FaultPlan`] wrapped around
+    /// the backing: commits and decommits consult the plan's seed-replayable
+    /// schedule and may fail, partially commit, or defer, exactly as the OS
+    /// can under memory pressure. See [`crate::fault`] for the schedule
+    /// semantics and [`Region::fault_stats`] for the injection counts.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Region::reserve`] (reservation itself is never
+    /// fault-injected — a tracer that cannot reserve has nothing to degrade).
+    pub fn reserve_with_faults(
+        max_bytes: usize,
+        backing: Backing,
+        plan: FaultPlan,
+    ) -> Result<Self, RegionError> {
+        Self::reserve_inner(max_bytes, backing, Some(FaultInjector::new(plan)))
+    }
+
+    fn reserve_inner(
+        max_bytes: usize,
+        backing: Backing,
+        faults: Option<FaultInjector>,
+    ) -> Result<Self, RegionError> {
         if max_bytes == 0 || !max_bytes.is_multiple_of(PAGE_SIZE) {
             return Err(RegionError::InvalidSize { requested: max_bytes });
         }
@@ -102,7 +132,13 @@ impl Region {
             Backing::Mmap => BackingImpl::Heap(HeapBacking::reserve(max_bytes)?),
             Backing::Heap => BackingImpl::Heap(HeapBacking::reserve(max_bytes)?),
         };
-        Ok(Self { backing, bitmap: PageBitmap::new(max_bytes / PAGE_SIZE), max_bytes })
+        Ok(Self { backing, bitmap: PageBitmap::new(max_bytes / PAGE_SIZE), max_bytes, faults })
+    }
+
+    /// Injection counts when the region was reserved with
+    /// [`Region::reserve_with_faults`]; `None` otherwise.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(FaultInjector::stats)
     }
 
     /// Total reserved size in bytes.
@@ -161,13 +197,68 @@ impl Region {
     /// [`RegionError::CommitFailed`] when the OS call fails.
     pub fn commit(&self, offset: usize, len: usize) -> Result<(), RegionError> {
         self.validate(offset, len)?;
+        if let Some(inj) = &self.faults {
+            let (decision, due) = inj.on_commit(offset, len);
+            self.flush_deferred(due);
+            match decision {
+                CommitDecision::Proceed => {}
+                CommitDecision::Fail { errno } => {
+                    return Err(RegionError::CommitFailed { errno });
+                }
+                CommitDecision::Partial { prefix } => {
+                    // Materialize the prefix for real so the rollback path
+                    // below has actual backing state to undo.
+                    let committed = match self.backing_commit(offset, prefix) {
+                        Ok(()) => prefix,
+                        Err(f) => f.committed,
+                    };
+                    return Err(
+                        self.rollback_partial(offset, CommitFault { errno: ENOMEM, committed })
+                    );
+                }
+            }
+        }
+        match self.backing_commit(offset, len) {
+            Ok(()) => {
+                self.bitmap.set_range(offset / PAGE_SIZE, len / PAGE_SIZE, true);
+                Ok(())
+            }
+            Err(fault) => Err(self.rollback_partial(offset, fault)),
+        }
+    }
+
+    /// A mid-range commit failure leaves a committed prefix the bitmap knows
+    /// nothing about; decommit it so the two views cannot diverge and commit
+    /// stays observably all-or-nothing.
+    fn rollback_partial(&self, offset: usize, fault: CommitFault) -> RegionError {
+        if fault.committed > 0 {
+            let _ = self.backing_decommit(offset, fault.committed);
+        }
+        RegionError::CommitFailed { errno: fault.errno }
+    }
+
+    fn backing_commit(&self, offset: usize, len: usize) -> Result<(), CommitFault> {
         match &self.backing {
             #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
-            BackingImpl::Mmap(m) => m.commit(offset, len)?,
-            BackingImpl::Heap(h) => h.commit(offset, len)?,
+            BackingImpl::Mmap(m) => m.commit(offset, len),
+            BackingImpl::Heap(h) => h.commit(offset, len),
         }
-        self.bitmap.set_range(offset / PAGE_SIZE, len / PAGE_SIZE, true);
-        Ok(())
+    }
+
+    fn backing_decommit(&self, offset: usize, len: usize) -> Result<(), RegionError> {
+        match &self.backing {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            BackingImpl::Mmap(m) => m.decommit(offset, len),
+            BackingImpl::Heap(h) => h.decommit(offset, len),
+        }
+    }
+
+    /// Applies deferred decommits that have come due on the injector's
+    /// operation clock. Best-effort: deferral already reported success.
+    fn flush_deferred(&self, due: Vec<(usize, usize)>) {
+        for (offset, len) in due {
+            let _ = self.backing_decommit(offset, len);
+        }
     }
 
     /// Decommits the page-aligned range `[offset, offset + len)`, returning
@@ -184,11 +275,23 @@ impl Region {
     /// [`RegionError::CommitFailed`] when the OS call fails.
     pub fn decommit(&self, offset: usize, len: usize) -> Result<(), RegionError> {
         self.validate(offset, len)?;
-        match &self.backing {
-            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
-            BackingImpl::Mmap(m) => m.decommit(offset, len)?,
-            BackingImpl::Heap(h) => h.decommit(offset, len)?,
+        if let Some(inj) = &self.faults {
+            let (decision, due) = inj.on_decommit(offset, len);
+            self.flush_deferred(due);
+            match decision {
+                DecommitDecision::Proceed => {}
+                DecommitDecision::Fail { errno } => {
+                    return Err(RegionError::CommitFailed { errno });
+                }
+                DecommitDecision::Defer => {
+                    // Success is reported now; the backing releases the
+                    // pages a few operations later (kernel lazy reclaim).
+                    self.bitmap.set_range(offset / PAGE_SIZE, len / PAGE_SIZE, false);
+                    return Ok(());
+                }
+            }
         }
+        self.backing_decommit(offset, len)?;
         self.bitmap.set_range(offset / PAGE_SIZE, len / PAGE_SIZE, false);
         Ok(())
     }
@@ -316,6 +419,47 @@ mod tests {
         assert!(r.range_committed(4 * PAGE_SIZE - 1, 1));
         assert!(!r.range_committed(4 * PAGE_SIZE - 1, 2)); // crosses the end
         assert!(r.range_committed(123, 0)); // empty range trivially committed
+    }
+
+    #[test]
+    fn fault_plan_commit_failure_then_recovery() {
+        let plan = FaultPlan::new(11).commit_failure_rate(1.0).max_faults(2);
+        let r = Region::reserve_with_faults(4 * PAGE_SIZE, Backing::Heap, plan).unwrap();
+        assert!(matches!(r.commit(0, PAGE_SIZE), Err(RegionError::CommitFailed { .. })));
+        assert!(matches!(r.commit(0, PAGE_SIZE), Err(RegionError::CommitFailed { .. })));
+        r.commit(0, PAGE_SIZE).unwrap();
+        assert_eq!(r.fault_stats().unwrap().commit_faults, 2);
+        assert_eq!(r.committed_bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn partial_commit_rolls_back_prefix_on_every_backing() {
+        for b in backings() {
+            let plan = FaultPlan::new(5).partial_commit_rate(1.0).max_faults(1);
+            let r = Region::reserve_with_faults(16 * PAGE_SIZE, b, plan).unwrap();
+            assert!(matches!(r.commit(0, 8 * PAGE_SIZE), Err(RegionError::CommitFailed { .. })));
+            // All-or-nothing: the committed prefix was decommitted again, so
+            // the bitmap (never updated) and backing agree.
+            assert_eq!(r.committed_bytes(), 0, "prefix must be rolled back ({b:?})");
+            assert_eq!(r.fault_stats().unwrap().partial_commits, 1);
+            r.commit(0, 8 * PAGE_SIZE).unwrap();
+            assert_eq!(r.committed_bytes(), 8 * PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn deferred_decommit_reports_success_and_lands_later() {
+        let plan = FaultPlan::new(21).delayed_decommit_rate(1.0).decommit_delay_ops(1);
+        let r = Region::reserve_with_faults(8 * PAGE_SIZE, Backing::Heap, plan).unwrap();
+        r.commit(0, 2 * PAGE_SIZE).unwrap();
+        r.decommit(0, PAGE_SIZE).unwrap();
+        assert!(!r.is_committed(0), "bookkeeping reflects the decommit immediately");
+        let s = r.fault_stats().unwrap();
+        assert_eq!(s.deferred_decommits, 1);
+        assert_eq!(s.flushed_decommits, 0);
+        // The next operation flushes the pending range to the backing.
+        r.commit(4 * PAGE_SIZE, PAGE_SIZE).unwrap();
+        assert_eq!(r.fault_stats().unwrap().flushed_decommits, 1);
     }
 
     #[test]
