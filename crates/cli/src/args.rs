@@ -30,6 +30,13 @@ COMMANDS:
         --duration-ms <N>          workload length (default 5000)
         --jsonl <FILE>             also append periodic snapshots to a JSONL file
         --prom <FILE>              also maintain a Prometheus textfile
+    stream                         continuously export a synthetic load as frames
+        --duration-ms <N>          workload length (default 2000)
+        --out <FILE>               frame file (default: discard, count only)
+        --policy <block|drop>      backpressure policy (default block)
+        --batch-events <N>         max events per frame (default 512)
+        --queue-depth <N>          bound of each stage queue (default 8)
+        --json                     emit final stats as one JSON line
     help                           show this text
 ";
 
@@ -86,6 +93,21 @@ pub enum Command {
         jsonl: Option<String>,
         /// Optional Prometheus textfile path.
         prom: Option<String>,
+    },
+    /// Stream a synthetic workload through the drain pipeline.
+    Stream {
+        /// Workload length in milliseconds.
+        duration_ms: u64,
+        /// Frame file path (`None` discards frames, counting them).
+        out: Option<String>,
+        /// `true` = block on full queues, `false` = drop-and-count.
+        block: bool,
+        /// Max events per encoded frame.
+        batch_events: usize,
+        /// Bound of each inter-stage queue.
+        queue_depth: usize,
+        /// Emit final stats as JSON instead of tables.
+        json: bool,
     },
     /// Show usage.
     Help,
@@ -160,7 +182,40 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 prom: opts.get("--prom").cloned(),
             })
         }
+        "stream" => {
+            let (flags, opts) = flags_and_options(
+                it.as_slice(),
+                &["--json"],
+                &["--duration-ms", "--out", "--policy", "--batch-events", "--queue-depth"],
+            )?;
+            let block = match opts.get("--policy").map(String::as_str) {
+                None | Some("block") => true,
+                Some("drop") => false,
+                Some(other) => return Err(format!("--policy must be block or drop, got {other}")),
+            };
+            Ok(Command::Stream {
+                duration_ms: parse_ms(opts.get("--duration-ms"), 2000)?,
+                out: opts.get("--out").cloned(),
+                block,
+                batch_events: parse_count(opts.get("--batch-events"), 512)?,
+                queue_depth: parse_count(opts.get("--queue-depth"), 8)?,
+                json: flags.contains(&"--json".to_string()),
+            })
+        }
         other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn parse_count(value: Option<&String>, default: usize) -> Result<usize, String> {
+    match value {
+        None => Ok(default),
+        Some(v) => {
+            let n: usize = v.parse().map_err(|_| format!("invalid count {v}"))?;
+            if n == 0 {
+                return Err("count must be positive".into());
+            }
+            Ok(n)
+        }
     }
 }
 
@@ -300,6 +355,35 @@ mod tests {
         assert!(parse(&argv("stat --duration-ms 0")).is_err());
         assert!(parse(&argv("watch --json")).is_err());
         assert!(parse(&argv("stat --period-ms 100")).is_err());
+    }
+
+    #[test]
+    fn parses_stream() {
+        assert_eq!(
+            parse(&argv("stream")),
+            Ok(Command::Stream {
+                duration_ms: 2000,
+                out: None,
+                block: true,
+                batch_events: 512,
+                queue_depth: 8,
+                json: false
+            })
+        );
+        assert_eq!(
+            parse(&argv("stream --policy drop --out t.btsf --queue-depth 4 --json")),
+            Ok(Command::Stream {
+                duration_ms: 2000,
+                out: Some("t.btsf".into()),
+                block: false,
+                batch_events: 512,
+                queue_depth: 4,
+                json: true
+            })
+        );
+        assert!(parse(&argv("stream --policy sideways")).is_err());
+        assert!(parse(&argv("stream --batch-events 0")).is_err());
+        assert!(parse(&argv("stream --queue-depth x")).is_err());
     }
 
     #[test]

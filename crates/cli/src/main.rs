@@ -6,6 +6,7 @@
 //! btrace replay --scenario eShop-2 --tracer BTrace [--scale 0.1]
 //! btrace dump --scenario Video-1 --out trace.btd [--scale 0.1]
 //! btrace inspect trace.btd [--map]
+//! btrace stream --duration-ms 2000 [--out frames.btsf] [--policy block|drop]
 //! ```
 
 mod args;
@@ -28,6 +29,9 @@ fn main() {
         }
         Ok(Command::Watch { period_ms, duration_ms, jsonl, prom }) => {
             commands::watch(period_ms, duration_ms, jsonl.as_deref(), prom.as_deref())
+        }
+        Ok(Command::Stream { duration_ms, out, block, batch_events, queue_depth, json }) => {
+            commands::stream(duration_ms, out.as_deref(), block, batch_events, queue_depth, json)
         }
         Ok(Command::Help) => {
             print!("{}", args::USAGE);

@@ -441,6 +441,14 @@ impl BTrace {
         crate::TailReader::new(Arc::clone(&self.shared))
     }
 
+    /// Returns a block-granularity streaming consumer: each
+    /// [`poll`](crate::StreamConsumer::poll) hands off only blocks closed
+    /// since the previous poll, so every delivered batch is final and can
+    /// be encoded and shipped immediately.
+    pub fn stream(&self) -> crate::StreamConsumer {
+        crate::StreamConsumer::new(Arc::clone(&self.shared))
+    }
+
     /// Snapshot of the diagnostic counters.
     pub fn stats(&self) -> Stats {
         self.shared.counters.snapshot()

@@ -94,21 +94,27 @@ impl Consumer {
     /// as if its block had filled naturally.
     pub fn collect_and_close(&mut self) -> Readout {
         let readout = self.collect();
-        let shared = Arc::clone(&self.shared);
-        let cap = shared.cap();
-        for core in 0..shared.cfg.cores {
-            let local = shared.core_local(core);
-            let map = shared.history.map(local.pos);
-            if let crate::meta::Close::Fill { rnd, pos } =
-                shared.metas[map.meta_idx].close(map.rnd, cap)
-            {
-                let gpos = rnd as u64 * shared.active() as u64 + map.meta_idx as u64;
-                let lag = shared.history.map(gpos);
-                shared.write_dummy_run(lag.data_idx, pos, cap - pos);
-                shared.metas[map.meta_idx].confirm(cap - pos);
-            }
-        }
+        close_current_blocks(&self.shared);
         readout
+    }
+}
+
+/// Closes every core's current block by dummy-filling its remaining space
+/// (§4.3's destructive cut), shared by [`Consumer::collect_and_close`] and
+/// [`StreamConsumer::flush_close`](crate::stream::StreamConsumer::flush_close).
+pub(crate) fn close_current_blocks(shared: &Shared) {
+    let cap = shared.cap();
+    for core in 0..shared.cfg.cores {
+        let local = shared.core_local(core);
+        let map = shared.history.map(local.pos);
+        if let crate::meta::Close::Fill { rnd, pos } =
+            shared.metas[map.meta_idx].close(map.rnd, cap)
+        {
+            let gpos = rnd as u64 * shared.active() as u64 + map.meta_idx as u64;
+            let lag = shared.history.map(gpos);
+            shared.write_dummy_run(lag.data_idx, pos, cap - pos);
+            shared.metas[map.meta_idx].confirm(cap - pos);
+        }
     }
 }
 

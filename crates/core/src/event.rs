@@ -171,6 +171,13 @@ impl Event {
         &self.payload
     }
 
+    /// Consumes the event, returning the payload buffer without copying —
+    /// the hand-off used by the streaming drain path, where re-copying
+    /// every payload per batch would double the export cost.
+    pub fn into_payload(self) -> Vec<u8> {
+        self.payload
+    }
+
     /// On-buffer footprint of this event in bytes (header + payload,
     /// rounded to the entry alignment).
     pub fn stored_bytes(&self) -> usize {

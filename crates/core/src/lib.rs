@@ -62,6 +62,7 @@ mod raw;
 mod resize;
 pub mod sink;
 mod stats;
+pub mod stream;
 mod sync;
 mod tail;
 #[cfg(feature = "telemetry")]
@@ -74,6 +75,7 @@ pub use error::TraceError;
 pub use event::Event;
 pub use producer::{Grant, Producer};
 pub use stats::{Degraded, Stats, TracerState};
+pub use stream::{DrainedBatch, StreamConsumer, StreamStats};
 #[cfg(feature = "model")]
 pub use sync::model_rt;
 pub use tail::{Polled, TailReader};

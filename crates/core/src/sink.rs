@@ -201,7 +201,9 @@ impl TraceSink for BTrace {
                 stamp: e.stamp(),
                 core: e.core() as u16,
                 tid: e.tid(),
-                payload: e.payload().to_vec(),
+                // Move the payload out instead of re-copying it: the drain
+                // already owns the buffer.
+                payload: e.into_payload(),
             })
             .collect()
     }

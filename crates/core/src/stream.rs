@@ -1,0 +1,511 @@
+//! Streaming consumption at **block granularity**: the cursor-based
+//! consumer behind the `drain → batch → encode → sink` pipeline in
+//! `btrace-persist`.
+//!
+//! A [`StreamConsumer`] tracks the last-drained global block sequence and,
+//! on each [`poll`](StreamConsumer::poll), hands off only blocks that have
+//! **closed** since the previous poll. Unlike [`TailReader`](crate::TailReader)
+//! (which also returns partial prefixes of still-open blocks), the streaming
+//! consumer treats the closed block as its unit of delivery — the natural
+//! streaming granule of the block machinery (BBQ's consumption model), and
+//! the granularity at which a batch can be encoded and shipped without ever
+//! being amended by a later poll.
+//!
+//! ## Why closed-block handoff needs no new producer synchronization
+//!
+//! The §3.3 implicit-reclaim counters already fence visibility: a round is
+//! closed exactly when its metadata block's `Confirmed` counter reaches the
+//! block capacity for that round (`conf.rnd > map.rnd`, or `conf.rnd ==
+//! map.rnd && conf.pos == cap`). `Confirmed` is advanced with a Release
+//! fetch-and-add after the payload bytes are stored, so observing the
+//! closed state (Acquire) makes every entry in the block visible. Nothing
+//! is written back by the consumer: a drained block is "released" simply by
+//! the cursor moving past it — recycling remains governed by the same
+//! allocate/confirm protocol that recycles collected blocks, and producers
+//! never learn the consumer exists.
+//!
+//! ## Cursor invariants
+//!
+//! * `cursor` is the smallest global block sequence not yet *resolved*
+//!   (delivered, skipped, or permanently lost); it only moves forward.
+//! * Every sequence in `delivered` is `>= cursor` and has been resolved
+//!   out of order (a newer block closed while an older one was still
+//!   open); it is never re-read.
+//! * Each event is delivered **at most once** across polls: a block is
+//!   parsed only in the poll that resolves it, and resolution is recorded
+//!   before the next poll can observe the block again.
+
+use crate::buffer::Shared;
+use crate::consumer::BlockCounts;
+use crate::event::{EntryHeader, EntryKind, Event, HEADER_BYTES};
+use crate::sync::{Arc, Ordering};
+use std::collections::BTreeSet;
+
+/// One streaming poll's worth of closed blocks.
+#[derive(Debug, Default)]
+#[non_exhaustive]
+pub struct DrainedBatch {
+    /// Events from blocks that closed since the previous poll, in buffer
+    /// order (ascending block sequence, then offset).
+    pub events: Vec<Event>,
+    /// Per-block accounting of this poll's scan.
+    pub blocks: BlockCounts,
+    /// Blocks that were overwritten before the stream reached them. A
+    /// streaming daemon that cannot keep up loses oldest-first, exactly
+    /// like the underlying buffer.
+    pub missed_blocks: usize,
+}
+
+impl DrainedBatch {
+    /// Sum of on-buffer bytes of the returned events.
+    pub fn stored_bytes(&self) -> usize {
+        self.events.iter().map(Event::stored_bytes).sum()
+    }
+}
+
+/// Cumulative accounting across every poll of one [`StreamConsumer`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StreamStats {
+    /// Polls performed.
+    pub polls: u64,
+    /// Blocks whose events were delivered.
+    pub blocks_delivered: u64,
+    /// Events delivered.
+    pub events_delivered: u64,
+    /// On-buffer bytes of delivered events.
+    pub bytes_delivered: u64,
+    /// Blocks lost to wrap-around before the stream reached them.
+    pub missed_blocks: u64,
+}
+
+/// An incremental block-granularity consumer. Create via
+/// [`BTrace::stream`](crate::BTrace::stream).
+///
+/// Like every consumer, each poll pins the tracer's reclamation domain so
+/// a concurrent shrink cannot decommit memory mid-read (§4.4), and reads
+/// speculatively: snapshot, re-validate the block header, discard on
+/// mismatch.
+pub struct StreamConsumer {
+    shared: Arc<Shared>,
+    participant: btrace_smr::Participant,
+    scratch: Vec<u8>,
+    /// Smallest global block sequence not yet resolved.
+    cursor: u64,
+    /// Sequences beyond the cursor already resolved out of order.
+    delivered: BTreeSet<u64>,
+    stats: StreamStats,
+}
+
+impl StreamConsumer {
+    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+        let participant = shared.domain.register();
+        Self {
+            shared,
+            participant,
+            scratch: Vec::new(),
+            cursor: 0,
+            delivered: BTreeSet::new(),
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Returns the events of every block that closed since the previous
+    /// poll, oldest block first.
+    ///
+    /// Non-destructive and non-blocking for producers. Events of a block
+    /// that is still open (or has unconfirmed writes in flight) are *not*
+    /// returned yet — they arrive in the poll that first observes the
+    /// block closed, so each event is delivered at most once.
+    pub fn poll(&mut self) -> DrainedBatch {
+        let shared = Arc::clone(&self.shared);
+        let Self { participant, scratch, cursor, delivered, stats, .. } = self;
+        let _pin = participant.pin();
+        let head = shared.global_pos().pos;
+        let active = shared.active() as u64;
+        let span = (shared.data.region().len() / shared.cfg.block_bytes) as u64;
+        let lo = head.saturating_sub(span);
+
+        let mut out = DrainedBatch::default();
+        if *cursor < lo {
+            // Lapped: blocks in [cursor, lo) that we never resolved are
+            // gone. Resolved ones were already delivered — not missed.
+            let resolved_below = delivered.range(..lo).count() as u64;
+            out.missed_blocks = ((lo - *cursor) - resolved_below) as usize;
+            *cursor = lo;
+            *delivered = delivered.split_off(&lo);
+        }
+
+        for gpos in *cursor..head {
+            if delivered.contains(&gpos) {
+                continue;
+            }
+            match read_closed(&shared, scratch, gpos, &mut out) {
+                Handoff::Resolved => {
+                    delivered.insert(gpos);
+                }
+                Handoff::NotYetClosed => {
+                    // Producer still owns the block (or unconfirmed writes
+                    // are in flight): deliver it in a later poll.
+                }
+                Handoff::NotStarted => {
+                    // Never materialized for this sequence number. Within
+                    // the active window a concurrent advancement might
+                    // still install it; resolve only once it has fallen
+                    // behind the closing horizon.
+                    if gpos + active <= head {
+                        out.blocks.recycled += 1;
+                        delivered.insert(gpos);
+                    }
+                }
+            }
+        }
+        // Advance the cursor over the resolved prefix.
+        while delivered.remove(cursor) {
+            *cursor += 1;
+        }
+
+        stats.polls += 1;
+        stats.blocks_delivered += out.blocks.readable as u64;
+        stats.events_delivered += out.events.len() as u64;
+        stats.bytes_delivered += out.stored_bytes() as u64;
+        stats.missed_blocks += out.missed_blocks as u64;
+        out
+    }
+
+    /// Closes every open block in the readable window — each core's
+    /// current block (the destructive cut of
+    /// [`Consumer::collect_and_close`](crate::Consumer::collect_and_close))
+    /// *and* any straggler block still inside the §3.2 closing horizon —
+    /// then polls, delivering everything recorded so far, including events
+    /// that were sitting in open blocks.
+    ///
+    /// The horizon sweep matters: a block a core has advanced away from
+    /// stays open until the head passes it by `A` positions, and a final
+    /// drain must not withhold its confirmed contents.
+    ///
+    /// This is the shutdown flush of a streaming pipeline: after it
+    /// returns, every confirmed record has been handed off exactly once
+    /// (absent wrap-around misses, which are reported).
+    pub fn flush_close(&mut self) -> DrainedBatch {
+        crate::consumer::close_current_blocks(&self.shared);
+        self.close_open_window();
+        self.poll()
+    }
+
+    /// Dummy-fills every still-open block in the readable window, exactly
+    /// as a §3.2 advancing producer would. `Meta::close` is round-checked,
+    /// so a block whose metadata has already moved to a newer round is
+    /// left alone, and a straggler's unconfirmed entry below the claimed
+    /// fill range keeps the block incomplete until that writer confirms.
+    fn close_open_window(&mut self) {
+        let _pin = self.participant.pin();
+        let shared = &self.shared;
+        let cap = shared.cap();
+        let head = shared.global_pos().pos;
+        let span = (shared.data.region().len() / shared.cfg.block_bytes) as u64;
+        for gpos in head.saturating_sub(span)..head {
+            let map = shared.history.map(gpos);
+            // A shrink may have decommitted this slot; never dummy-write it.
+            if map.data_idx >= shared.capacity_blocks.load(Ordering::Acquire) {
+                continue;
+            }
+            if let crate::meta::Close::Fill { rnd: _, pos } =
+                shared.metas[map.meta_idx].close(map.rnd, cap)
+            {
+                shared.write_dummy_run(map.data_idx, pos, cap - pos);
+                shared.metas[map.meta_idx].confirm(cap - pos);
+            }
+        }
+    }
+
+    /// First global block sequence not yet resolved by this stream.
+    pub fn position(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Cumulative accounting across every poll so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+}
+
+/// Outcome of attempting to hand off one block.
+enum Handoff {
+    /// Delivered, torn, or permanently recycled — never look again.
+    Resolved,
+    /// Open or with unconfirmed writes; revisit next poll.
+    NotYetClosed,
+    /// Round not started for this sequence number (skip candidate).
+    NotStarted,
+}
+
+fn read_closed(
+    shared: &Shared,
+    scratch: &mut Vec<u8>,
+    gpos: u64,
+    out: &mut DrainedBatch,
+) -> Handoff {
+    let cap = shared.cap() as usize;
+    let map = shared.history.map(gpos);
+    // Acquire pairs with the shrinker's release store: blocks beyond the
+    // live bound may already be decommitted, so they must not be touched —
+    // but they are *withheld*, not resolved. A later grow can resurrect
+    // the slot with its data intact (shrink decommits are deferrable), and
+    // a one-shot collect would then read it; resolving here would make the
+    // stream silently lose what other consumers still see. If no grow
+    // comes, the cursor lap accounting converts the withheld block into an
+    // explicit miss instead.
+    if map.data_idx >= shared.capacity_blocks.load(Ordering::Acquire) {
+        out.blocks.in_flight += 1;
+        return Handoff::NotYetClosed;
+    }
+    let meta = &shared.metas[map.meta_idx];
+    let conf = meta.confirmed();
+    if conf.rnd < map.rnd {
+        return Handoff::NotStarted;
+    }
+    if conf.rnd == map.rnd {
+        let alloc = meta.allocated();
+        let visible = alloc.pos.min(shared.cap());
+        if alloc.rnd != map.rnd || conf.pos != visible || (visible as usize) < cap {
+            // Current round and not yet full-and-confirmed: the §3.3
+            // counters say the block is still referenced by producers.
+            out.blocks.in_flight += 1;
+            return Handoff::NotYetClosed;
+        }
+    }
+    // Closed: either fully confirmed this round, or the metadata already
+    // moved on (a past round is completely filled when it ends). Snapshot
+    // the whole block, then re-validate the header (§4.3).
+    let base = shared.data.block_offset(map.data_idx);
+    shared.data.load_bytes(base, scratch, cap);
+    let header_ok = scratch.len() >= HEADER_BYTES
+        && EntryHeader::decode([
+            u64::from_le_bytes(scratch[0..8].try_into().expect("8 bytes")),
+            u64::from_le_bytes(scratch[8..16].try_into().expect("8 bytes")),
+        ])
+        .is_some_and(|h| h.kind == EntryKind::BlockHeader && h.stamp == gpos);
+    if !header_ok {
+        // Skip marker, or data already overwritten by a newer round.
+        out.blocks.recycled += 1;
+        return Handoff::Resolved;
+    }
+    let mut live = [0u64; 2];
+    shared.data.load_words(base, &mut live);
+    let still_ours = EntryHeader::decode(live)
+        .is_some_and(|h| h.kind == EntryKind::BlockHeader && h.stamp == gpos);
+    if !still_ours {
+        out.blocks.torn += 1;
+        return Handoff::Resolved;
+    }
+    parse_block(scratch, gpos, &mut out.events);
+    out.blocks.readable += 1;
+    Handoff::Resolved
+}
+
+/// Walks a validated closed-block snapshot, appending `Data` events.
+fn parse_block(snapshot: &[u8], gpos: u64, out: &mut Vec<Event>) {
+    let mut off = HEADER_BYTES; // skip the block header
+    while off + 8 <= snapshot.len() {
+        let word0 = u64::from_le_bytes(snapshot[off..off + 8].try_into().expect("8 bytes"));
+        let word1 = if off + 16 <= snapshot.len() {
+            u64::from_le_bytes(snapshot[off + 8..off + 16].try_into().expect("8 bytes"))
+        } else {
+            0
+        };
+        let Some(header) = EntryHeader::decode([word0, word1]) else { return };
+        let len = header.len as usize;
+        if len == 0 || off + len > snapshot.len() {
+            return;
+        }
+        if header.kind == EntryKind::Data {
+            if let Some(payload_len) = header.payload_len() {
+                if off + HEADER_BYTES + payload_len <= snapshot.len() {
+                    let payload =
+                        snapshot[off + HEADER_BYTES..off + HEADER_BYTES + payload_len].to_vec();
+                    out.push(Event::new(header.stamp, header.core, header.tid, gpos, payload));
+                }
+            }
+        }
+        off += len;
+    }
+}
+
+impl std::fmt::Debug for StreamConsumer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamConsumer")
+            .field("cursor", &self.cursor)
+            .field("out_of_order", &self.delivered.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BTrace, Config};
+    use btrace_vmem::Backing;
+
+    fn tracer(cores: usize) -> BTrace {
+        BTrace::new(
+            Config::new(cores)
+                .active_blocks(4)
+                .block_bytes(256)
+                .buffer_bytes(256 * 16)
+                .backing(Backing::Heap),
+        )
+        .expect("valid configuration")
+    }
+
+    #[test]
+    fn open_block_is_withheld_until_closed() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        let mut s = t.stream();
+        p.record_with(0, 0, b"sits in an open block").unwrap();
+        assert!(s.poll().events.is_empty(), "open blocks are not streamed");
+        // Fill past the first block so it closes.
+        for i in 1..40u64 {
+            p.record_with(i, 0, b"a-sixteen-byte-p").unwrap();
+        }
+        let batch = s.poll();
+        assert!(!batch.events.is_empty());
+        assert_eq!(batch.events[0].stamp(), 0, "closed block arrives whole, oldest first");
+    }
+
+    #[test]
+    fn each_closed_block_arrives_exactly_once() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        let mut s = t.stream();
+        let mut seen = Vec::new();
+        for i in 0..300u64 {
+            p.record_with(i, 0, b"a-sixteen-byte-p").unwrap();
+            if i % 13 == 0 {
+                seen.extend(s.poll().events.into_iter().map(|e| e.stamp()));
+            }
+        }
+        seen.extend(s.flush_close().events.into_iter().map(|e| e.stamp()));
+        let mut dedup = seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seen.len(), "no duplicates across polls");
+        assert_eq!(*seen.last().unwrap(), 299, "flush_close delivers the open tail");
+    }
+
+    #[test]
+    fn flush_close_delivers_everything_written() {
+        let t = tracer(2);
+        let p0 = t.producer(0).unwrap();
+        let p1 = t.producer(1).unwrap();
+        let mut s = t.stream();
+        for i in 0..10u64 {
+            p0.record_with(i, 0, b"core0").unwrap();
+            p1.record_with(100 + i, 0, b"core1").unwrap();
+        }
+        let batch = s.flush_close();
+        let mut stamps: Vec<u64> = batch.events.iter().map(|e| e.stamp()).collect();
+        stamps.sort_unstable();
+        let expected: Vec<u64> = (0..10).chain(100..110).collect();
+        assert_eq!(stamps, expected);
+        assert!(s.poll().events.is_empty(), "nothing is delivered twice");
+    }
+
+    #[test]
+    fn lapped_stream_reports_misses_and_recovers() {
+        let t = tracer(1); // 16 blocks x 256 B
+        let p = t.producer(0).unwrap();
+        let mut s = t.stream();
+        for i in 0..2_000u64 {
+            p.record_with(i, 0, b"wrap-the-buffer!").unwrap();
+        }
+        let batch = s.poll();
+        assert!(batch.missed_blocks > 0, "a lapped stream must report misses");
+        let stamps: Vec<u64> = batch.events.iter().map(|e| e.stamp()).collect();
+        for w in stamps.windows(2) {
+            assert!(w[1] > w[0], "stream must stay ordered");
+        }
+        // The stream keeps going after the lap.
+        for i in 2_000..2_040u64 {
+            p.record_with(i, 0, b"wrap-the-buffer!").unwrap();
+        }
+        let next = s.flush_close();
+        assert_eq!(next.events.last().unwrap().stamp(), 2_039);
+    }
+
+    #[test]
+    fn out_of_order_closes_do_not_wedge_the_cursor() {
+        // Core 0 keeps one block open while core 1 closes many: the
+        // stream must deliver core 1's closed blocks without waiting.
+        let t = tracer(2);
+        let p0 = t.producer(0).unwrap();
+        let p1 = t.producer(1).unwrap();
+        let mut s = t.stream();
+        p0.record_with(0, 0, b"held open").unwrap();
+        // Enough to close core 1's first block, but too little for core
+        // 1's advances to reach the §3.2 closing horizon (A blocks back)
+        // and close core 0's block for us.
+        for i in 0..13u64 {
+            p1.record_with(1 + i, 0, b"a-sixteen-byte-p").unwrap();
+        }
+        let batch = s.poll();
+        assert!(
+            batch.events.iter().any(|e| e.core() == 1),
+            "closed blocks stream past an older open one"
+        );
+        assert!(batch.events.iter().all(|e| e.core() == 1), "the open block is withheld");
+        // Flush closes core 0's straggler block too.
+        let rest = s.flush_close();
+        assert!(rest.events.iter().any(|e| e.stamp() == 0));
+    }
+
+    #[test]
+    fn stream_coexists_with_resize() {
+        let t = BTrace::new(
+            Config::new(1)
+                .active_blocks(4)
+                .block_bytes(256)
+                .buffer_bytes(256 * 8)
+                .max_bytes(256 * 32)
+                .backing(Backing::Heap),
+        )
+        .unwrap();
+        let p = t.producer(0).unwrap();
+        let mut s = t.stream();
+        let mut seen = Vec::new();
+        for i in 0..400u64 {
+            p.record_with(i, 0, b"a-sixteen-byte-p").unwrap();
+            match i {
+                100 => t.resize_bytes(256 * 32).unwrap(),
+                250 => t.resize_bytes(256 * 8).unwrap(),
+                _ => {}
+            }
+            if i % 17 == 0 {
+                seen.extend(s.poll().events.into_iter().map(|e| e.stamp()));
+            }
+        }
+        seen.extend(s.flush_close().events.into_iter().map(|e| e.stamp()));
+        let mut dedup = seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seen.len(), "resizes must not cause duplicates");
+        assert_eq!(*seen.iter().max().unwrap(), 399, "newest survives the resizes");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        let mut s = t.stream();
+        for i in 0..100u64 {
+            p.record_with(i, 0, b"a-sixteen-byte-p").unwrap();
+        }
+        let batch = s.flush_close();
+        let stats = s.stats();
+        assert_eq!(stats.polls, 1);
+        assert_eq!(stats.events_delivered, batch.events.len() as u64);
+        assert_eq!(stats.blocks_delivered, batch.blocks.readable as u64);
+        assert_eq!(stats.bytes_delivered, batch.stored_bytes() as u64);
+    }
+}

@@ -146,5 +146,8 @@ pub(crate) fn health_snapshot(shared: &Shared) -> HealthSnapshot {
         advance_latency: shared.telem.advance_hist.snapshot().summary(),
         drain_latency: shared.telem.drain_hist.snapshot().summary(),
         rates: Default::default(),
+        // Pipeline stage gauges are attached by whoever owns a running
+        // stream (e.g. the CLI's `stream` command), not by the core.
+        stream_stages: Vec::new(),
     }
 }

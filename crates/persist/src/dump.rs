@@ -48,6 +48,13 @@ impl TraceDump {
         &self.events
     }
 
+    /// Consumes the dump, yielding the events without re-copying their
+    /// payloads — pair with [`TraceDump::from_events`] to move a batch
+    /// through capture → analysis without a per-event copy.
+    pub fn into_events(self) -> Vec<FullEvent> {
+        self.events
+    }
+
     /// Serializes to `path` (atomically: write + rename).
     ///
     /// # Errors
@@ -270,6 +277,7 @@ mod tests {
         let restored = TraceDump::read_from(&path).expect("read");
         assert_eq!(restored, dump);
         assert_eq!(restored.label(), "boot-anr");
+        assert_eq!(restored.into_events(), dump.into_events());
         std::fs::remove_dir_all(&dir).ok();
     }
 

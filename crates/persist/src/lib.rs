@@ -11,6 +11,11 @@
 //! * [`Collector`] — the daemon: watches a trigger, drains the tracer on
 //!   each firing, and keeps a bounded ring of the most recent dumps on
 //!   disk (rotation), like the beta-release collectors of §6.
+//! * [`StreamPipeline`] — continuous export: a bounded
+//!   `drain → batch → encode → sink` pipeline over the incremental
+//!   [`StreamConsumer`](btrace_core::StreamConsumer), with configurable
+//!   backpressure ([`Backpressure::Block`] vs
+//!   [`Backpressure::DropAndCount`]) and per-stage telemetry gauges.
 //!
 //! ```rust
 //! use btrace_core::{BTrace, Config};
@@ -39,7 +44,12 @@
 mod collector;
 mod dump;
 mod export;
+mod stream;
 
 pub use collector::{Collector, CollectorConfig};
 pub use dump::{DumpError, TraceDump};
 pub use export::{read_jsonl, JsonlExporter, PrometheusExporter, RetryPolicy};
+pub use stream::{
+    decode_frames, encode_frame, read_frames, Backpressure, FileFrameSink, FrameSink,
+    NullFrameSink, PipelineConfig, PipelineStats, StreamFrame, StreamPipeline,
+};

@@ -49,4 +49,4 @@ mod snapshot;
 
 pub use hist::{Histogram, HistogramSnapshot, ShardedHistogram, NUM_BUCKETS};
 pub use sampler::{ExportIoStats, Exporter, Sampler, SamplerConfig, SnapshotSource};
-pub use snapshot::{CoreHealth, HealthSnapshot, LatencySummary, Rates};
+pub use snapshot::{CoreHealth, HealthSnapshot, LatencySummary, Rates, StageHealth};

@@ -86,6 +86,48 @@ impl CoreHealth {
     }
 }
 
+/// Per-stage gauges of a streaming drain pipeline (`drain → batch →
+/// encode → sink`), attached to snapshots while a stream session runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageHealth {
+    /// Stage name (`drain`, `batch`, `encode`, `sink`).
+    pub stage: String,
+    /// Items currently queued at the stage's inlet.
+    pub depth: usize,
+    /// Bound of the stage's inlet queue (0 for the unqueued first stage).
+    pub capacity: usize,
+    /// Items accepted by the stage so far.
+    pub in_items: u64,
+    /// Items the stage has handed downstream.
+    pub out_items: u64,
+    /// Items dropped at this stage by the backpressure policy.
+    pub dropped: u64,
+}
+
+impl StageHealth {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("stage".into(), Json::Str(self.stage.clone())),
+            ("depth".into(), Json::from_u64(self.depth as u64)),
+            ("capacity".into(), Json::from_u64(self.capacity as u64)),
+            ("in_items".into(), Json::from_u64(self.in_items)),
+            ("out_items".into(), Json::from_u64(self.out_items)),
+            ("dropped".into(), Json::from_u64(self.dropped)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        Some(Self {
+            stage: v.get("stage")?.as_str()?.to_string(),
+            depth: v.get("depth")?.as_usize()?,
+            capacity: v.get("capacity")?.as_usize()?,
+            in_items: v.get("in_items")?.as_u64()?,
+            out_items: v.get("out_items")?.as_u64()?,
+            dropped: v.get("dropped")?.as_u64()?,
+        })
+    }
+}
+
 /// Rate-windowed deltas between consecutive sampler snapshots. All zeros
 /// on a raw (non-sampler) snapshot or the first sample of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -191,6 +233,9 @@ pub struct HealthSnapshot {
     pub drain_latency: LatencySummary,
     /// Rate-windowed deltas (filled by the sampler).
     pub rates: Rates,
+    /// Streaming pipeline stage gauges (empty when no stream session is
+    /// attached).
+    pub stream_stages: Vec<StageHealth>,
 }
 
 impl HealthSnapshot {
@@ -228,6 +273,10 @@ impl HealthSnapshot {
             ("advance_latency".into(), self.advance_latency.to_json()),
             ("drain_latency".into(), self.drain_latency.to_json()),
             ("rates".into(), self.rates.to_json()),
+            (
+                "stream_stages".into(),
+                Json::Arr(self.stream_stages.iter().map(|s| s.to_json()).collect()),
+            ),
         ])
         .render()
     }
@@ -277,6 +326,14 @@ impl HealthSnapshot {
             advance_latency: LatencySummary::from_json(v.get("advance_latency")?)?,
             drain_latency: LatencySummary::from_json(v.get("drain_latency")?)?,
             rates: Rates::from_json(v.get("rates")?)?,
+            // Absent on snapshots written before streaming existed: decode
+            // those as "no stream session" rather than rejecting the line.
+            stream_stages: match v.get("stream_stages") {
+                Some(arr) => {
+                    arr.as_arr()?.iter().map(StageHealth::from_json).collect::<Option<Vec<_>>>()?
+                }
+                None => Vec::new(),
+            },
         })
     }
 
@@ -350,6 +407,35 @@ impl HealthSnapshot {
                 "btrace_core_records_total{{core=\"{}\"}} {}\n",
                 core.core, core.records
             ));
+        }
+
+        if !self.stream_stages.is_empty() {
+            for (name, kind, help, pick) in [
+                (
+                    "stream_stage_depth",
+                    "gauge",
+                    "Items queued at the stage inlet.",
+                    (|s: &StageHealth| s.depth as u64) as fn(&StageHealth) -> u64,
+                ),
+                ("stream_stage_in_total", "counter", "Items accepted by the stage.", |s| {
+                    s.in_items
+                }),
+                ("stream_stage_out_total", "counter", "Items handed downstream.", |s| s.out_items),
+                ("stream_stage_dropped_total", "counter", "Items dropped by backpressure.", |s| {
+                    s.dropped
+                }),
+            ] {
+                out.push_str(&format!(
+                    "# HELP btrace_{name} {help}\n# TYPE btrace_{name} {kind}\n"
+                ));
+                for stage in &self.stream_stages {
+                    out.push_str(&format!(
+                        "btrace_{name}{{stage=\"{}\"}} {}\n",
+                        stage.stage,
+                        pick(stage)
+                    ));
+                }
+            }
         }
 
         for (path, summary) in [
@@ -441,6 +527,24 @@ mod tests {
                 advances_per_sec: 10.0,
                 skips_per_sec: 1.0,
             },
+            stream_stages: vec![
+                StageHealth {
+                    stage: "drain".into(),
+                    depth: 0,
+                    capacity: 0,
+                    in_items: 5000,
+                    out_items: 5000,
+                    dropped: 0,
+                },
+                StageHealth {
+                    stage: "sink".into(),
+                    depth: 3,
+                    capacity: 8,
+                    in_items: 41,
+                    out_items: 38,
+                    dropped: 2,
+                },
+            ],
         }
     }
 
@@ -460,6 +564,21 @@ mod tests {
     }
 
     #[test]
+    fn pre_streaming_snapshots_still_decode() {
+        // A JSONL line written before `stream_stages` existed must parse
+        // as "no stream session attached".
+        let old = HealthSnapshot {
+            stream_stages: vec![StageHealth { stage: "sink".into(), ..StageHealth::default() }],
+            ..HealthSnapshot::default()
+        };
+        let line = old.to_json();
+        let key_at = line.find(",\"stream_stages\"").unwrap();
+        let trimmed = format!("{}}}", &line[..key_at]);
+        let parsed = HealthSnapshot::from_json(&trimmed).unwrap();
+        assert!(parsed.stream_stages.is_empty());
+    }
+
+    #[test]
     fn rejects_truncated_input() {
         let line = sample().to_json();
         assert!(HealthSnapshot::from_json(&line[..line.len() / 2]).is_err());
@@ -476,6 +595,8 @@ mod tests {
         assert!(text.contains("btrace_effectivity_bound 0.9375"));
         assert!(text.contains("# TYPE btrace_commit_failures_total counter"));
         assert!(text.contains("btrace_commit_failures_total 5"));
+        assert!(text.contains("btrace_stream_stage_depth{stage=\"sink\"} 3"));
+        assert!(text.contains("btrace_stream_stage_dropped_total{stage=\"sink\"} 2"));
         assert!(text.contains("btrace_export_drops_total 1"));
         // Every line is either a comment or `name[{labels}] value`.
         for line in text.lines() {

@@ -170,6 +170,85 @@ fn resize_during_replay_keeps_recording() {
 }
 
 #[test]
+fn collect_and_close_is_pinned_at_wraparound() {
+    // Regression pin for the destructive read at buffer wrap-around:
+    // after writing 3x the buffer's capacity, `collect_and_close` must
+    // return a gap-free suffix ending at the newest stamp, every event's
+    // `stored_bytes` must equal its encoded length, the readout total
+    // must fit the buffer, and a post-close burst must land strictly
+    // after everything returned.
+    use btrace::core::event::encoded_len;
+
+    const WRAP_BLOCK: usize = 256;
+    const WRAP_ACTIVE: usize = 4;
+    const WRAP_TOTAL: usize = WRAP_BLOCK * 16;
+    const PAYLOAD: &[u8] = b"wrap-around payload."; // 20 B -> 40 B encoded
+    let tracer = BTrace::new(
+        Config::new(1).active_blocks(WRAP_ACTIVE).block_bytes(WRAP_BLOCK).buffer_bytes(WRAP_TOTAL),
+    )
+    .expect("valid configuration");
+    let producer = tracer.producer(0).expect("core 0");
+    // 40-byte entries, 240 usable bytes per block -> 6 events per block,
+    // 96 events per buffer; 300 events wrap the buffer three times.
+    const WRITES: u64 = 300;
+    for i in 0..WRITES {
+        producer.record_with(i, 7, PAYLOAD).expect("payload fits");
+    }
+
+    let mut consumer = tracer.consumer();
+    let readout = consumer.collect_and_close();
+
+    let stamps: Vec<u64> = readout.events.iter().map(|e| e.stamp()).collect();
+    assert!(!stamps.is_empty(), "a wrapped buffer still holds the newest window");
+    let newest = *stamps.iter().max().expect("non-empty");
+    assert_eq!(newest, WRITES - 1, "the newest stamp survives the wrap");
+    let oldest = *stamps.iter().min().expect("non-empty");
+    let mut sorted = stamps.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), stamps.len(), "no stamp is collected twice");
+    assert_eq!(
+        sorted,
+        (oldest..=newest).collect::<Vec<u64>>(),
+        "survivors form a gap-free suffix across the wrap seam"
+    );
+
+    // stored_bytes identities: per event, per readout, and within budget.
+    for e in &readout.events {
+        assert_eq!(
+            e.stored_bytes(),
+            encoded_len(PAYLOAD.len()),
+            "stored_bytes must be the on-buffer footprint at stamp {}",
+            e.stamp()
+        );
+    }
+    assert_eq!(
+        readout.stored_bytes(),
+        readout.events.len() * encoded_len(PAYLOAD.len()),
+        "readout total is the sum of its events"
+    );
+    assert!(
+        readout.stored_bytes() <= WRAP_TOTAL,
+        "a single readout can never exceed the buffer it came from"
+    );
+
+    // The destructive cut: everything recorded after the close lands
+    // strictly after everything the readout returned.
+    const FRESH: u64 = 10;
+    for i in 0..FRESH {
+        producer.record_with(WRITES + i, 7, PAYLOAD).expect("payload fits");
+    }
+    let second = consumer.collect_and_close();
+    let fresh: Vec<u64> =
+        second.events.iter().map(|e| e.stamp()).filter(|&s| s >= WRITES).collect();
+    assert_eq!(
+        fresh,
+        (WRITES..WRITES + FRESH).collect::<Vec<u64>>(),
+        "post-close burst must be retained gap-free after the cut"
+    );
+}
+
+#[test]
 fn collected_events_match_what_was_written() {
     // Payload integrity across the whole pipeline: every drained stamp was
     // written exactly once with the size the generator chose.
