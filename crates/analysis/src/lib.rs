@@ -22,12 +22,14 @@
 #![deny(missing_debug_implementations)]
 
 mod breakdown;
+mod doctor;
 mod gapmap;
 mod metrics;
 mod stats;
 mod table;
 
 pub use breakdown::{by_core, by_thread, core_skew, GroupStats};
+pub use doctor::{diagnose, Diagnosis, Finding, LossWindow, Severity};
 pub use gapmap::{gap_map, GapMapOptions};
 pub use metrics::{analyze, Metrics};
 pub use stats::{geometric_mean, percentile, BoxStats, LatencyStats};

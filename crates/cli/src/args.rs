@@ -37,6 +37,14 @@ COMMANDS:
         --batch-events <N>         max events per frame (default 512)
         --queue-depth <N>          bound of each stage queue (default 8)
         --json                     emit final stats as one JSON line
+    doctor                         seeded fault-storm run, then loss forensics
+        --fault-seed <N>           commit-fault plan seed, 0 disables (default 183)
+        --duration-ms <N>          workload length (default 1000)
+        --json                     emit the diagnosis as one JSON line
+    events                         run a synthetic load, print the recorder timeline
+        --duration-ms <N>          workload length (default 1000)
+        --follow                   tail events live while the load runs
+        --json                     one JSON object per event
     help                           show this text
 ";
 
@@ -107,6 +115,24 @@ pub enum Command {
         /// Bound of each inter-stage queue.
         queue_depth: usize,
         /// Emit final stats as JSON instead of tables.
+        json: bool,
+    },
+    /// Seeded fault-storm run followed by loss forensics.
+    Doctor {
+        /// Fault plan seed (`0` disables injection).
+        fault_seed: u64,
+        /// Workload length in milliseconds.
+        duration_ms: u64,
+        /// Emit the diagnosis as JSON instead of a report.
+        json: bool,
+    },
+    /// Print the flight-recorder timeline of a synthetic load.
+    Events {
+        /// Workload length in milliseconds.
+        duration_ms: u64,
+        /// Tail events live instead of dumping at the end.
+        follow: bool,
+        /// One JSON object per event.
         json: bool,
     },
     /// Show usage.
@@ -199,6 +225,28 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 block,
                 batch_events: parse_count(opts.get("--batch-events"), 512)?,
                 queue_depth: parse_count(opts.get("--queue-depth"), 8)?,
+                json: flags.contains(&"--json".to_string()),
+            })
+        }
+        "doctor" => {
+            let (flags, opts) =
+                flags_and_options(it.as_slice(), &["--json"], &["--fault-seed", "--duration-ms"])?;
+            let fault_seed = match opts.get("--fault-seed") {
+                None => 183,
+                Some(v) => v.parse().map_err(|_| format!("invalid --fault-seed {v}"))?,
+            };
+            Ok(Command::Doctor {
+                fault_seed,
+                duration_ms: parse_ms(opts.get("--duration-ms"), 1000)?,
+                json: flags.contains(&"--json".to_string()),
+            })
+        }
+        "events" => {
+            let (flags, opts) =
+                flags_and_options(it.as_slice(), &["--follow", "--json"], &["--duration-ms"])?;
+            Ok(Command::Events {
+                duration_ms: parse_ms(opts.get("--duration-ms"), 1000)?,
+                follow: flags.contains(&"--follow".to_string()),
                 json: flags.contains(&"--json".to_string()),
             })
         }
@@ -384,6 +432,28 @@ mod tests {
         assert!(parse(&argv("stream --policy sideways")).is_err());
         assert!(parse(&argv("stream --batch-events 0")).is_err());
         assert!(parse(&argv("stream --queue-depth x")).is_err());
+    }
+
+    #[test]
+    fn parses_doctor_and_events() {
+        assert_eq!(
+            parse(&argv("doctor")),
+            Ok(Command::Doctor { fault_seed: 183, duration_ms: 1000, json: false })
+        );
+        assert_eq!(
+            parse(&argv("doctor --fault-seed 0 --duration-ms 250 --json")),
+            Ok(Command::Doctor { fault_seed: 0, duration_ms: 250, json: true })
+        );
+        assert_eq!(
+            parse(&argv("events --follow")),
+            Ok(Command::Events { duration_ms: 1000, follow: true, json: false })
+        );
+        assert_eq!(
+            parse(&argv("events --json --duration-ms 400")),
+            Ok(Command::Events { duration_ms: 400, follow: false, json: true })
+        );
+        assert!(parse(&argv("doctor --fault-seed nope")).is_err());
+        assert!(parse(&argv("events --fault-seed 3")).is_err());
     }
 
     #[test]

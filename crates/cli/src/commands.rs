@@ -1,15 +1,19 @@
 //! Command implementations. Each returns a process exit code.
 
-use btrace_analysis::{analyze, by_core, by_thread, core_skew, gap_map, GapMapOptions, Table};
+use btrace_analysis::{
+    analyze, by_core, by_thread, core_skew, diagnose, gap_map, GapMapOptions, Table,
+};
 use btrace_baselines::{Bbq, PerCoreDropNewest, PerCoreOverwrite, PerThread};
 use btrace_core::sink::CollectedEvent;
-use btrace_core::{BTrace, Config};
+use btrace_core::{BTrace, Backing, Config, FaultPlan};
 use btrace_persist::{
     Backpressure, FileFrameSink, FrameSink, JsonlExporter, NullFrameSink, PipelineConfig,
     PrometheusExporter, StreamPipeline, TraceDump,
 };
 use btrace_replay::{scenarios, ReplayConfig, ReplayReport, Replayer};
-use btrace_telemetry::{Exporter, HealthSnapshot, Sampler, SamplerConfig};
+use btrace_telemetry::{
+    degraded, Exporter, FlightRecorder, HealthSnapshot, Sampler, SamplerConfig,
+};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -360,8 +364,17 @@ struct WatchExporter;
 
 impl Exporter for WatchExporter {
     fn export(&mut self, s: &HealthSnapshot) -> std::io::Result<()> {
+        let stages = if s.stream_stages.is_empty() {
+            "-".to_string()
+        } else {
+            s.stream_stages
+                .iter()
+                .map(|st| format!("{}:{}/{}", st.stage, st.depth, st.capacity))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
         println!(
-            "{:>4} {:>12} {:>12.0} {:>9.2} {:>9} {:>6} {:>8.4} {:>8.4} {:>6} {:>6} {:>7}",
+            "{:>4} {:>12} {:>12.0} {:>9.2} {:>9} {:>6} {:>8.4} {:>8.4} {:>6} {:>6} {:>7} {:>8} {}",
             s.seq,
             s.records,
             s.rates.records_per_sec,
@@ -373,6 +386,8 @@ impl Exporter for WatchExporter {
             s.record_latency.p50,
             s.record_latency.p99,
             s.record_latency.p999,
+            stages,
+            degraded::describe(s.degraded_bits),
         );
         Ok(())
     }
@@ -395,8 +410,19 @@ pub fn watch(period_ms: u64, duration_ms: u64, jsonl: Option<&str>, prom: Option
         }
     };
     println!(
-        "{:>4} {:>12} {:>12} {:>9} {:>9} {:>6} {:>8} {:>8} {:>6} {:>6} {:>7}",
-        "seq", "records", "rec/s", "MiB/s", "advances", "skips", "eff", "occ", "p50", "p99", "p999"
+        "{:>4} {:>12} {:>12} {:>9} {:>9} {:>6} {:>8} {:>8} {:>6} {:>6} {:>7} {:>8} state",
+        "seq",
+        "records",
+        "rec/s",
+        "MiB/s",
+        "advances",
+        "skips",
+        "eff",
+        "occ",
+        "p50",
+        "p99",
+        "p999",
+        "stages"
     );
     exporters.push(Box::new(WatchExporter));
     let mut sampler = Sampler::spawn(
@@ -539,6 +565,178 @@ pub fn stream(
         if let Some(path) = out {
             println!("frames written to {path}");
         }
+    }
+    0
+}
+
+/// The doctor's fault-storm geometry: a deliberately tiny resizable
+/// buffer so producers lap it and the pipeline sheds under load.
+const DOCTOR_BLOCK: usize = 1024;
+const DOCTOR_ACTIVE: usize = 8;
+const DOCTOR_STRIDE: usize = DOCTOR_BLOCK * DOCTOR_ACTIVE;
+
+/// `btrace doctor` — runs a seeded fault-storm workload (producers
+/// hammering a tiny buffer through a shedding pipeline, with a mid-run
+/// grow that the fault plan sabotages), then correlates the flight
+/// recorder, health counters, and stage gauges into a diagnosis.
+pub fn doctor(fault_seed: u64, duration_ms: u64, json: bool) -> i32 {
+    let mut config = Config::new(4)
+        .active_blocks(DOCTOR_ACTIVE)
+        .block_bytes(DOCTOR_BLOCK)
+        .buffer_bytes(2 * DOCTOR_STRIDE)
+        .max_bytes(8 * DOCTOR_STRIDE)
+        .backing(Backing::Heap);
+    if fault_seed != 0 {
+        // Every commit after construction fails: the mid-run grow must
+        // retry, fall back, and leave the tracer degraded.
+        config =
+            config.fault_plan(FaultPlan::new(fault_seed).commit_failure_rate(1.0).arm_after_ops(1));
+    }
+    let tracer = match BTrace::new(config) {
+        Ok(t) => std::sync::Arc::new(t),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    // A depth-1 shedding pipeline: under four spinning producers its
+    // queues overflow, so loss shows up as recorder StageDrop events, not
+    // just counter drift.
+    let pipeline = StreamPipeline::spawn(
+        std::sync::Arc::clone(&tracer),
+        Box::new(NullFrameSink::default()),
+        PipelineConfig {
+            poll_interval: Duration::from_millis(1),
+            queue_depth: 1,
+            backpressure: Backpressure::DropAndCount,
+            ..PipelineConfig::default()
+        },
+    );
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for core in 0..tracer.cores() {
+            let producer = tracer.producer(core).expect("core in range");
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    producer
+                        .record_with(
+                            core as u64 * 1_000_000_000 + i,
+                            i as u32 % 17,
+                            b"doctor: fault storm",
+                        )
+                        .expect("payload fits");
+                    i += 1;
+                    if i.is_multiple_of(2048) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        // Halfway in, attempt a grow. With the fault plan armed this is
+        // the injected incident: commit faults → retries → fallback.
+        std::thread::sleep(Duration::from_millis(duration_ms / 2));
+        let _ = tracer.resize_bytes(4 * DOCTOR_STRIDE);
+        std::thread::sleep(Duration::from_millis(duration_ms - duration_ms / 2));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let pstats = pipeline.stop();
+
+    let mut snap = tracer.health_snapshot();
+    snap.stream_stages = pstats.stages.clone();
+    let timeline = tracer.flight_recorder().snapshot();
+    let diagnosis = diagnose(&timeline.events, Some(&snap), None);
+
+    if json {
+        println!("{}", diagnosis.to_json().render());
+    } else {
+        print!("{}", diagnosis.render());
+        if timeline.overwritten > 0 {
+            println!(
+                "\n(ring overwrote {} older event(s); earliest evidence may be gone)",
+                timeline.overwritten
+            );
+        }
+    }
+    0
+}
+
+/// Prints recorder events newer than each shard's high-water mark,
+/// advancing the marks. Returns how many events were printed.
+fn print_new_events(recorder: &FlightRecorder, seen: &mut [u64], json: bool) -> usize {
+    let snap = recorder.snapshot();
+    let mut printed = 0;
+    for e in &snap.events {
+        let mark = &mut seen[e.shard as usize];
+        if e.seq < *mark {
+            continue;
+        }
+        *mark = e.seq + 1;
+        if json {
+            println!("{}", e.to_json().render());
+        } else {
+            println!("{}", e.describe());
+        }
+        printed += 1;
+    }
+    printed
+}
+
+/// `btrace events` — runs a synthetic load through a streaming pipeline
+/// and prints the flight recorder's timeline (control-plane transitions
+/// plus per-stage span events), optionally tailing it live.
+pub fn events(duration_ms: u64, follow: bool, json: bool) -> i32 {
+    let tracer = match telemetry_tracer() {
+        Ok(t) => std::sync::Arc::new(t),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let recorder = tracer.flight_recorder();
+    let mut seen = vec![0u64; recorder.shards()];
+    let pipeline = StreamPipeline::spawn(
+        std::sync::Arc::clone(&tracer),
+        Box::new(NullFrameSink::default()),
+        PipelineConfig::default(),
+    );
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for core in 0..tracer.cores() {
+            let producer = tracer.producer(core).expect("core in range");
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    producer
+                        .record_with(
+                            core as u64 * 1_000_000_000 + i,
+                            i as u32 % 17,
+                            b"events: synthetic event",
+                        )
+                        .expect("payload fits");
+                    i += 1;
+                    if i.is_multiple_of(4096) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        let deadline = std::time::Instant::now() + Duration::from_millis(duration_ms);
+        while std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(50.min(duration_ms / 4 + 1)));
+            if follow {
+                print_new_events(&recorder, &mut seen, json);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    pipeline.stop();
+    let printed = print_new_events(&recorder, &mut seen, json);
+    if !follow && printed == 0 && !json {
+        println!("(no recorder events in this run)");
     }
     0
 }

@@ -33,6 +33,12 @@ fn main() {
         Ok(Command::Stream { duration_ms, out, block, batch_events, queue_depth, json }) => {
             commands::stream(duration_ms, out.as_deref(), block, batch_events, queue_depth, json)
         }
+        Ok(Command::Doctor { fault_seed, duration_ms, json }) => {
+            commands::doctor(fault_seed, duration_ms, json)
+        }
+        Ok(Command::Events { duration_ms, follow, json }) => {
+            commands::events(duration_ms, follow, json)
+        }
         Ok(Command::Help) => {
             print!("{}", args::USAGE);
             0

@@ -244,6 +244,8 @@ impl Shared {
                     // wait on the pinning writers' confirms — hint so they
                     // can run.
                     self.counters.bump(&self.counters.skips);
+                    #[cfg(feature = "telemetry")]
+                    self.telem.note_skip(core);
                     crate::sync::contention_hint();
                     continue;
                 }
@@ -495,6 +497,16 @@ impl BTrace {
     #[cfg(feature = "telemetry")]
     pub fn set_record_timing(&self, every: Option<u32>) {
         self.shared.telem.set_sample_every(every);
+    }
+
+    /// The tracer's control-plane flight recorder: a bounded, lock-free
+    /// timeline of state transitions (resizes, faults, degradation flips,
+    /// skip storms, EBR stalls) plus whatever a stream pipeline or
+    /// exporter attached to the same handle emits. Feed its snapshot to
+    /// `btrace-analysis`'s doctor to turn counters into a causal story.
+    #[cfg(feature = "telemetry")]
+    pub fn flight_recorder(&self) -> std::sync::Arc<btrace_telemetry::FlightRecorder> {
+        std::sync::Arc::clone(&self.shared.telem.recorder)
     }
 
     /// Current buffer capacity in bytes (`N × block_bytes`).

@@ -80,6 +80,6 @@ pub use stream::{DrainedBatch, StreamConsumer, StreamStats};
 pub use sync::model_rt;
 pub use tail::{Polled, TailReader};
 
-// Re-exported so downstream crates can configure memory backing without
-// depending on the substrate crate directly.
-pub use btrace_vmem::Backing;
+// Re-exported so downstream crates can configure memory backing and
+// fault injection without depending on the substrate crate directly.
+pub use btrace_vmem::{Backing, FaultPlan, FaultStats};

@@ -40,6 +40,12 @@ const BACKING_ATTEMPTS: u32 = 4;
 /// resize costs well under a millisecond before falling back).
 const BACKING_BACKOFF: Duration = Duration::from_micros(50);
 
+/// A consumer grace period outliving this wait is reported to the flight
+/// recorder as an EBR stall (it means a pinned consumer is holding up
+/// physical reclaim).
+#[cfg(feature = "telemetry")]
+const EBR_STALL_NS: u64 = 10_000_000;
+
 /// Runs a backing commit/decommit with bounded exponential backoff. Every
 /// failed attempt bumps `commit_failures` (so the counter equals the number
 /// of injected faults observed, attempt by attempt).
@@ -54,8 +60,20 @@ fn retry_backing_op(
             Ok(()) => return Ok(()),
             Err(e) => {
                 shared.counters.bump(&shared.counters.commit_failures);
+                #[cfg(feature = "telemetry")]
+                shared.telem.control(
+                    btrace_telemetry::EventKind::FaultInjected,
+                    shared.counters.commit_failures.load(Ordering::Relaxed),
+                    u64::from(attempt) + 1,
+                );
                 last = Some(e);
                 if attempt + 1 < BACKING_ATTEMPTS {
+                    #[cfg(feature = "telemetry")]
+                    shared.telem.control(
+                        btrace_telemetry::EventKind::ResizeRetry,
+                        u64::from(attempt) + 1,
+                        backoff.as_micros() as u64,
+                    );
                     std::thread::sleep(backoff);
                     backoff *= 2;
                 }
@@ -117,6 +135,12 @@ impl BTrace {
                 shared.resize_lock.clear_poison();
                 shared.counters.bump(&shared.counters.lock_recoveries);
                 shared.counters.set_degraded(degraded::LOCK_RECOVERED);
+                #[cfg(feature = "telemetry")]
+                shared.telem.control(
+                    btrace_telemetry::EventKind::StateSet,
+                    degraded::LOCK_RECOVERED,
+                    shared.counters.degraded_bits(),
+                );
                 revalidate_geometry(shared)?;
                 guard
             }
@@ -126,6 +150,15 @@ impl BTrace {
         if old.ratio == new_ratio {
             return Ok(());
         }
+
+        #[cfg(feature = "telemetry")]
+        let resize_t0 = Instant::now();
+        #[cfg(feature = "telemetry")]
+        shared.telem.control(
+            btrace_telemetry::EventKind::ResizeBegin,
+            u64::from(old.ratio) * shared.active() as u64,
+            u64::from(new_ratio) * shared.active() as u64,
+        );
 
         // Growing: commit the new pages *before* any producer can reach them.
         //
@@ -148,6 +181,19 @@ impl BTrace {
                 // surviving blocks, unaware a grow was ever attempted.
                 shared.counters.bump(&shared.counters.resize_fallbacks);
                 shared.counters.set_degraded(degraded::COMMIT_FAILED);
+                #[cfg(feature = "telemetry")]
+                {
+                    shared.telem.control(
+                        btrace_telemetry::EventKind::ResizeFallback,
+                        u64::from(new_ratio) * shared.active() as u64,
+                        u64::from(old.ratio) * shared.active() as u64,
+                    );
+                    shared.telem.control(
+                        btrace_telemetry::EventKind::StateSet,
+                        degraded::COMMIT_FAILED,
+                        shared.counters.degraded_bits(),
+                    );
+                }
                 return Err(e);
             }
             shared.committed_extent.store(new_extent, Ordering::Release);
@@ -237,7 +283,17 @@ impl BTrace {
             // facade — under the model scheduler the spinning resizer keeps
             // yielding to the pinned consumer it is waiting on.
             let target = shared.domain.advance();
+            #[cfg(feature = "telemetry")]
+            let (grace_t0, mut stall_reported) = (Instant::now(), false);
             while !shared.domain.sweep_quiescent_at(target) {
+                #[cfg(feature = "telemetry")]
+                {
+                    let waited = grace_t0.elapsed().as_nanos() as u64;
+                    if !stall_reported && waited >= EBR_STALL_NS {
+                        stall_reported = true;
+                        shared.telem.control(btrace_telemetry::EventKind::EbrStall, waited, target);
+                    }
+                }
                 crate::sync::spin_hint();
             }
             if new_extent < old_extent {
@@ -247,7 +303,18 @@ impl BTrace {
                 }) {
                     Ok(()) => {
                         shared.committed_extent.store(new_extent, Ordering::Release);
+                        #[cfg(feature = "telemetry")]
+                        let was_deferred =
+                            shared.counters.degraded_bits() & degraded::RECLAIM_DEFERRED != 0;
                         shared.counters.clear_degraded(degraded::RECLAIM_DEFERRED);
+                        #[cfg(feature = "telemetry")]
+                        if was_deferred {
+                            shared.telem.control(
+                                btrace_telemetry::EventKind::StateClear,
+                                degraded::RECLAIM_DEFERRED,
+                                shared.counters.degraded_bits(),
+                            );
+                        }
                     }
                     Err(_) => {
                         // The shrink already took effect logically (ratio,
@@ -258,12 +325,24 @@ impl BTrace {
                         // the deferral instead of failing a shrink that
                         // producers already observe.
                         shared.counters.set_degraded(degraded::RECLAIM_DEFERRED);
+                        #[cfg(feature = "telemetry")]
+                        shared.telem.control(
+                            btrace_telemetry::EventKind::StateSet,
+                            degraded::RECLAIM_DEFERRED,
+                            shared.counters.degraded_bits(),
+                        );
                     }
                 }
             }
         }
 
         shared.counters.bump(&shared.counters.resizes);
+        #[cfg(feature = "telemetry")]
+        shared.telem.control(
+            btrace_telemetry::EventKind::ResizeCommit,
+            new_blocks,
+            resize_t0.elapsed().as_nanos() as u64,
+        );
         Ok(())
     }
 }

@@ -332,6 +332,23 @@ mod tests {
         assert_eq!(c.state(), TracerState::Healthy);
     }
 
+    /// The telemetry crate republishes the degradation bit assignments so
+    /// exporters and the doctor can label `HealthSnapshot::degraded_bits`
+    /// without depending on core. The two copies must never drift.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn degraded_bits_match_telemetry_taxonomy() {
+        assert_eq!(degraded::COMMIT_FAILED, btrace_telemetry::degraded::COMMIT_FAILED);
+        assert_eq!(degraded::RECLAIM_DEFERRED, btrace_telemetry::degraded::RECLAIM_DEFERRED);
+        assert_eq!(degraded::LOCK_RECOVERED, btrace_telemetry::degraded::LOCK_RECOVERED);
+        let known: u64 = btrace_telemetry::degraded::ALL.iter().map(|i| i.bit).sum();
+        assert_eq!(
+            known,
+            degraded::COMMIT_FAILED | degraded::RECLAIM_DEFERRED | degraded::LOCK_RECOVERED,
+            "every core bit must be labeled in telemetry"
+        );
+    }
+
     #[test]
     fn snapshot_reflects_bumps() {
         let c = Counters::new(2);

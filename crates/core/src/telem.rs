@@ -15,9 +15,12 @@
 //! always timed.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::Instant;
 
-use btrace_telemetry::{CoreHealth, HealthSnapshot, Histogram, ShardedHistogram};
+use btrace_telemetry::{
+    CoreHealth, EventKind, FlightRecorder, HealthSnapshot, Histogram, ShardedHistogram,
+};
 
 use crate::buffer::Shared;
 
@@ -27,6 +30,14 @@ const TIMING_OFF: u64 = u64::MAX;
 /// Default sampling interval: time 1 in 64 records.
 pub(crate) const DEFAULT_SAMPLE_EVERY: u32 = 64;
 
+/// Skip-storm rate window: skips are counted per window and emitted as a
+/// single [`EventKind::SkipStorm`] recorder event when a window closes
+/// over threshold — one event per storm, not one per skip, so a pinned
+/// buffer cannot flood the recorder with its own symptom.
+const SKIP_WINDOW_NS: u64 = 10_000_000;
+/// Minimum skips within one window that count as a storm.
+const SKIP_STORM_MIN: u64 = 16;
+
 /// Per-tracer telemetry state, embedded in `Shared`.
 pub(crate) struct Telemetry {
     /// Fast-path record latency, sharded per core.
@@ -35,6 +46,13 @@ pub(crate) struct Telemetry {
     pub(crate) advance_hist: Histogram,
     /// Consumer drain latency.
     pub(crate) drain_hist: Histogram,
+    /// Control-plane flight recorder; shared with stream pipelines and
+    /// exporters via [`crate::BTrace::flight_recorder`].
+    pub(crate) recorder: Arc<FlightRecorder>,
+    /// Start of the current skip-storm rate window (recorder ns).
+    skip_window_start: AtomicU64,
+    /// Skips observed in the current window.
+    skip_window_skips: AtomicU64,
     /// A record is timed when `records & mask == 0`; [`TIMING_OFF`]
     /// disables timing.
     sample_mask: AtomicU64,
@@ -46,7 +64,41 @@ impl Telemetry {
             record_hist: ShardedHistogram::new(cores),
             advance_hist: Histogram::new(),
             drain_hist: Histogram::new(),
+            recorder: Arc::new(FlightRecorder::with_default_capacity(cores)),
+            skip_window_start: AtomicU64::new(0),
+            skip_window_skips: AtomicU64::new(0),
             sample_mask: AtomicU64::new(DEFAULT_SAMPLE_EVERY as u64 - 1),
+        }
+    }
+
+    /// Emits a control-plane event (resize, fault, state flip, EBR) onto
+    /// the recorder's control shard.
+    pub(crate) fn control(&self, kind: EventKind, a: u64, b: u64) {
+        self.recorder.emit(self.recorder.control_shard(), kind, 0, a, b);
+    }
+
+    /// Accounts one block skip toward the current rate window; emits a
+    /// [`EventKind::SkipStorm`] event when a closing window saw at least
+    /// [`SKIP_STORM_MIN`] skips. Lock-free: the closer is elected by CAS
+    /// on the window start, and skips landing during the handover stay in
+    /// the counter for the next window.
+    pub(crate) fn note_skip(&self, core: usize) {
+        let now = self.recorder.now_ns();
+        self.skip_window_skips.fetch_add(1, Relaxed);
+        let start = self.skip_window_start.load(Relaxed);
+        if now.saturating_sub(start) >= SKIP_WINDOW_NS
+            && self.skip_window_start.compare_exchange(start, now, Relaxed, Relaxed).is_ok()
+        {
+            let skips = self.skip_window_skips.swap(0, Relaxed);
+            if skips >= SKIP_STORM_MIN {
+                self.recorder.emit(
+                    self.recorder.core_shard(core),
+                    EventKind::SkipStorm,
+                    core as u32,
+                    skips,
+                    now - start,
+                );
+            }
         }
     }
 
@@ -134,6 +186,7 @@ pub(crate) fn health_snapshot(shared: &Shared) -> HealthSnapshot {
         commit_failures: stats.commit_failures,
         resize_fallbacks: stats.resize_fallbacks,
         lock_recoveries: stats.lock_recoveries,
+        degraded_bits: shared.counters.degraded_bits(),
         // Export I/O counters live with the exporters; the Sampler fills
         // them in when it owns the export loop.
         export_retries: 0,

@@ -23,7 +23,9 @@
 use crate::export::RetryPolicy;
 use btrace_core::sink::FullEvent;
 use btrace_core::BTrace;
-use btrace_telemetry::{ExportIoStats, StageHealth};
+use btrace_telemetry::{
+    EventKind, ExportIoStats, FlightRecorder, Histogram, StageHealth, STAGE_NAMES,
+};
 use std::collections::VecDeque;
 use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
@@ -396,21 +398,93 @@ impl PipelineStats {
     }
 }
 
+/// An item moving between stages, tagged with the **span id** that
+/// follows the batch through `drain → batch → encode → sink` (the batch
+/// stage folds several drained spans into one outgoing batch, which then
+/// carries the oldest contributor's span) and the enqueue timestamp for
+/// queue-wait accounting. The wait is measured from push *start*, so
+/// time spent blocked on a full queue counts as handoff latency too.
+struct Spanned<T> {
+    span: u64,
+    enqueued_ns: u64,
+    item: T,
+}
+
+/// A blocked push shorter than this is ordinary lock/queue jitter; at or
+/// above it, a [`EventKind::Backpressure`] event is recorded.
+const BACKPRESSURE_NOTE_NS: u64 = 1_000_000;
+
 struct Inner {
     stop: AtomicBool,
     started: Instant,
     stages: [StageCounters; 4],
+    /// Per-stage processing latency (span enter → exit, ns).
+    latency: [Histogram; 4],
+    /// Per-stage inlet queue wait (upstream push start → pop, ns).
+    queue_wait: [Histogram; 4],
+    /// The owning tracer's flight recorder; stage transitions land next
+    /// to the tracer's own control-plane events on dedicated shards.
+    recorder: Arc<FlightRecorder>,
+    next_span: AtomicU64,
     missed_blocks: AtomicU64,
     bytes_written: AtomicU64,
     io_retries: AtomicU64,
     io_drops: AtomicU64,
-    q_batch: Bounded<Vec<FullEvent>>,
-    q_encode: Bounded<Vec<FullEvent>>,
-    q_sink: Bounded<Vec<u8>>,
+    q_batch: Bounded<Spanned<Vec<FullEvent>>>,
+    q_encode: Bounded<Spanned<Vec<FullEvent>>>,
+    q_sink: Bounded<Spanned<Vec<u8>>>,
     queue_depth: usize,
 }
 
-const STAGE_NAMES: [&str; 4] = ["drain", "batch", "encode", "sink"];
+impl Inner {
+    /// A batch entered `stage`: records queue wait and the span event.
+    fn enter(&self, stage: usize, span: u64, queue_wait_ns: u64) {
+        self.queue_wait[stage].record(queue_wait_ns);
+        self.recorder.emit(
+            self.recorder.stage_shard(stage),
+            EventKind::StageEnter,
+            stage as u32,
+            span,
+            queue_wait_ns,
+        );
+    }
+
+    /// A batch left `stage` (handoff included): records stage latency.
+    fn exit(&self, stage: usize, span: u64, elapsed_ns: u64) {
+        self.latency[stage].record(elapsed_ns);
+        self.recorder.emit(
+            self.recorder.stage_shard(stage),
+            EventKind::StageExit,
+            stage as u32,
+            span,
+            elapsed_ns,
+        );
+    }
+
+    /// `stage` shed `items` of span `span` under `DropAndCount`.
+    fn shed(&self, stage: usize, span: u64, items: u64) {
+        self.recorder.emit(
+            self.recorder.stage_shard(stage),
+            EventKind::StageDrop,
+            stage as u32,
+            span,
+            items,
+        );
+    }
+
+    /// A push out of `stage` blocked long enough to matter.
+    fn note_backpressure(&self, stage: usize, span: u64, waited_ns: u64) {
+        if waited_ns >= BACKPRESSURE_NOTE_NS {
+            self.recorder.emit(
+                self.recorder.stage_shard(stage),
+                EventKind::Backpressure,
+                stage as u32,
+                span,
+                waited_ns,
+            );
+        }
+    }
+}
 
 /// A running `drain → batch → encode → sink` pipeline.
 ///
@@ -445,6 +519,10 @@ impl StreamPipeline {
             stop: AtomicBool::new(false),
             started: Instant::now(),
             stages: Default::default(),
+            latency: Default::default(),
+            queue_wait: Default::default(),
+            recorder: tracer.flight_recorder(),
+            next_span: AtomicU64::new(0),
             missed_blocks: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             io_retries: AtomicU64::new(0),
@@ -471,15 +549,18 @@ impl StreamPipeline {
         let caps = [0, inner.queue_depth, inner.queue_depth, inner.queue_depth];
         STAGE_NAMES
             .iter()
+            .enumerate()
             .zip(inner.stages.iter())
             .zip(depths.iter().zip(caps.iter()))
-            .map(|((name, c), (&depth, &capacity))| StageHealth {
+            .map(|(((i, name), c), (&depth, &capacity))| StageHealth {
                 stage: (*name).to_string(),
                 depth,
                 capacity,
                 in_items: c.in_items.load(Ordering::Relaxed),
                 out_items: c.out_items.load(Ordering::Relaxed),
                 dropped: c.dropped.load(Ordering::Relaxed),
+                latency: inner.latency[i].snapshot().summary(),
+                queue_wait: inner.queue_wait[i].snapshot().summary(),
             })
             .collect()
     }
@@ -528,6 +609,11 @@ fn spawn_drain(
                 if batch.events.is_empty() {
                     return;
                 }
+                // Each non-empty poll opens a new span that the batch it
+                // produced carries through the rest of the pipeline.
+                let span = inner.next_span.fetch_add(1, Ordering::Relaxed) + 1;
+                let t0 = inner.recorder.now_ns();
+                inner.enter(0, span, 0);
                 let events: Vec<FullEvent> = batch
                     .events
                     .into_iter()
@@ -540,10 +626,18 @@ fn spawn_drain(
                     .collect();
                 let n = events.len() as u64;
                 stage.in_items.fetch_add(n, Ordering::Relaxed);
-                if inner.q_batch.push(events, config.backpressure) {
+                let enqueued_ns = inner.recorder.now_ns();
+                let pushed = inner
+                    .q_batch
+                    .push(Spanned { span, enqueued_ns, item: events }, config.backpressure);
+                let now = inner.recorder.now_ns();
+                inner.note_backpressure(0, span, now.saturating_sub(enqueued_ns));
+                if pushed {
                     stage.out_items.fetch_add(n, Ordering::Relaxed);
+                    inner.exit(0, span, now.saturating_sub(t0));
                 } else {
                     stage.dropped.fetch_add(n, Ordering::Relaxed);
+                    inner.shed(0, span, n);
                 }
             };
             while !inner.stop.load(Ordering::Acquire) {
@@ -565,37 +659,64 @@ fn spawn_batch(inner: Arc<Inner>, config: PipelineConfig) -> std::thread::JoinHa
             let stage = &inner.stages[1];
             let mut pending: Vec<FullEvent> = Vec::new();
             let mut pending_bytes = 0usize;
-            let flush = |pending: &mut Vec<FullEvent>, pending_bytes: &mut usize| {
+            // The span the pending batch will carry (its oldest
+            // contributor's) and when that contributor entered the stage,
+            // for fold latency.
+            let mut pending_span = 0u64;
+            let mut pending_since_ns = 0u64;
+            let flush = |pending: &mut Vec<FullEvent>,
+                         pending_bytes: &mut usize,
+                         span: u64,
+                         since_ns: u64| {
                 if pending.is_empty() {
                     return;
                 }
                 let batch = std::mem::take(pending);
                 *pending_bytes = 0;
-                if inner.q_encode.push(batch, config.backpressure) {
+                let enqueued_ns = inner.recorder.now_ns();
+                let pushed = inner
+                    .q_encode
+                    .push(Spanned { span, enqueued_ns, item: batch }, config.backpressure);
+                let now = inner.recorder.now_ns();
+                inner.note_backpressure(1, span, now.saturating_sub(enqueued_ns));
+                if pushed {
                     stage.out_items.fetch_add(1, Ordering::Relaxed);
+                    inner.exit(1, span, now.saturating_sub(since_ns));
                 } else {
                     stage.dropped.fetch_add(1, Ordering::Relaxed);
+                    inner.shed(1, span, 1);
                 }
             };
             let idle = config.poll_interval.max(Duration::from_millis(10));
             loop {
                 match inner.q_batch.pop(idle) {
-                    Some(events) => {
-                        stage.in_items.fetch_add(events.len() as u64, Ordering::Relaxed);
-                        for e in events {
+                    Some(spanned) => {
+                        let now = inner.recorder.now_ns();
+                        inner.enter(1, spanned.span, now.saturating_sub(spanned.enqueued_ns));
+                        stage.in_items.fetch_add(spanned.item.len() as u64, Ordering::Relaxed);
+                        for e in spanned.item {
+                            if pending.is_empty() {
+                                pending_span = spanned.span;
+                                pending_since_ns = inner.recorder.now_ns();
+                            }
                             pending_bytes += e.payload.len();
                             pending.push(e);
                             if pending.len() >= config.batch_max_events
                                 || pending_bytes >= config.batch_max_bytes
                             {
-                                flush(&mut pending, &mut pending_bytes);
+                                flush(
+                                    &mut pending,
+                                    &mut pending_bytes,
+                                    pending_span,
+                                    pending_since_ns,
+                                );
                             }
                         }
                     }
                     None => {
                         // Timeout or upstream closed: ship the partial
                         // batch so low-rate streams still make progress.
-                        flush(&mut pending, &mut pending_bytes);
+                        flush(&mut pending, &mut pending_bytes, pending_span, pending_since_ns);
                         if inner.q_batch.drained() {
                             break;
                         }
@@ -615,14 +736,25 @@ fn spawn_encode(inner: Arc<Inner>, config: PipelineConfig) -> std::thread::JoinH
             let mut seq = 0u64;
             loop {
                 match inner.q_encode.pop(Duration::from_millis(50)) {
-                    Some(batch) => {
-                        stage.in_items.fetch_add(batch.len() as u64, Ordering::Relaxed);
-                        let frame = encode_frame(seq, &batch);
+                    Some(spanned) => {
+                        let t0 = inner.recorder.now_ns();
+                        inner.enter(2, spanned.span, t0.saturating_sub(spanned.enqueued_ns));
+                        stage.in_items.fetch_add(spanned.item.len() as u64, Ordering::Relaxed);
+                        let frame = encode_frame(seq, &spanned.item);
                         seq += 1;
-                        if inner.q_sink.push(frame, config.backpressure) {
+                        let enqueued_ns = inner.recorder.now_ns();
+                        let pushed = inner.q_sink.push(
+                            Spanned { span: spanned.span, enqueued_ns, item: frame },
+                            config.backpressure,
+                        );
+                        let now = inner.recorder.now_ns();
+                        inner.note_backpressure(2, spanned.span, now.saturating_sub(enqueued_ns));
+                        if pushed {
                             stage.out_items.fetch_add(1, Ordering::Relaxed);
+                            inner.exit(2, spanned.span, now.saturating_sub(t0));
                         } else {
                             stage.dropped.fetch_add(1, Ordering::Relaxed);
+                            inner.shed(2, spanned.span, 1);
                         }
                     }
                     None => {
@@ -648,19 +780,44 @@ fn spawn_sink(
             let stage = &inner.stages[3];
             loop {
                 match inner.q_sink.pop(Duration::from_millis(50)) {
-                    Some(frame) => {
+                    Some(spanned) => {
+                        let t0 = inner.recorder.now_ns();
+                        inner.enter(3, spanned.span, t0.saturating_sub(spanned.enqueued_ns));
                         stage.in_items.fetch_add(1, Ordering::Relaxed);
+                        let frame = &spanned.item;
                         let mut io = ExportIoStats::default();
-                        let wrote = config.retry.run(&mut io, || sink.write_frame(&frame));
-                        inner.io_retries.fetch_add(io.retries, Ordering::Relaxed);
-                        inner.io_drops.fetch_add(io.drops, Ordering::Relaxed);
+                        let wrote = config.retry.run(&mut io, || sink.write_frame(frame));
+                        let retries =
+                            inner.io_retries.fetch_add(io.retries, Ordering::Relaxed) + io.retries;
+                        let drops =
+                            inner.io_drops.fetch_add(io.drops, Ordering::Relaxed) + io.drops;
+                        if io.retries > 0 {
+                            inner.recorder.emit(
+                                inner.recorder.stage_shard(3),
+                                EventKind::ExportRetry,
+                                3,
+                                retries,
+                                io.retries,
+                            );
+                        }
+                        if io.drops > 0 {
+                            inner.recorder.emit(
+                                inner.recorder.stage_shard(3),
+                                EventKind::ExportDrop,
+                                3,
+                                drops,
+                                io.drops,
+                            );
+                        }
                         if wrote.is_ok() {
                             stage.out_items.fetch_add(1, Ordering::Relaxed);
                             inner.bytes_written.fetch_add(frame.len() as u64, Ordering::Relaxed);
+                            inner.exit(3, spanned.span, inner.recorder.now_ns().saturating_sub(t0));
                         } else {
                             // Retries exhausted: the frame is dropped and
                             // counted, the pipeline never wedges.
                             stage.dropped.fetch_add(1, Ordering::Relaxed);
+                            inner.shed(3, spanned.span, 1);
                         }
                     }
                     None => {
@@ -800,6 +957,51 @@ mod tests {
         );
         assert!(health.iter().skip(1).all(|s| s.capacity == 8));
         pipeline.stop();
+    }
+
+    #[test]
+    fn pipeline_records_span_events_for_every_stage() {
+        let t = tracer();
+        let p = t.producer(0).unwrap();
+        let pipeline =
+            StreamPipeline::spawn(Arc::clone(&t), Box::new(NullFrameSink::default()), quick());
+        for i in 0..2_000u64 {
+            p.record_with(i, 0, b"span me").unwrap();
+        }
+        let stats = pipeline.stop();
+        assert!(stats.frames_written > 0);
+
+        let snap = t.flight_recorder().snapshot();
+        for stage in 0..4u32 {
+            let enters = snap
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::StageEnter && e.source == stage)
+                .count();
+            let exits: Vec<u64> = snap
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::StageExit && e.source == stage)
+                .map(|e| e.a)
+                .collect();
+            assert!(enters > 0, "stage {stage} recorded no StageEnter events");
+            assert!(!exits.is_empty(), "stage {stage} recorded no StageExit events");
+            assert!(exits.iter().all(|&span| span > 0), "span ids start at 1");
+        }
+        // Every frame the sink wrote exited the sink stage under a span.
+        let sink_exits =
+            snap.events.iter().filter(|e| e.kind == EventKind::StageExit && e.source == 3).count()
+                as u64;
+        assert_eq!(sink_exits, stats.frames_written);
+
+        // The fold latencies surfaced in stage health.
+        for s in &stats.stages {
+            assert!(s.latency.count > 0, "stage {} has no latency samples", s.stage);
+        }
+        // Queued stages (everything after drain) saw queue waits.
+        for s in stats.stages.iter().skip(1) {
+            assert!(s.queue_wait.count > 0, "stage {} has no queue-wait samples", s.stage);
+        }
     }
 
     #[test]

@@ -44,9 +44,15 @@
 
 mod hist;
 pub mod json;
+mod recorder;
 mod sampler;
 mod snapshot;
 
 pub use hist::{Histogram, HistogramSnapshot, ShardedHistogram, NUM_BUCKETS};
+pub use recorder::{
+    EventKind, FlightRecorder, RecordedEvent, RecorderSnapshot, DEFAULT_SLOTS, STAGE_NAMES,
+    STAGE_SHARDS,
+};
 pub use sampler::{ExportIoStats, Exporter, Sampler, SamplerConfig, SnapshotSource};
+pub use snapshot::degraded;
 pub use snapshot::{CoreHealth, HealthSnapshot, LatencySummary, Rates, StageHealth};

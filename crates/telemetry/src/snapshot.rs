@@ -10,6 +10,62 @@
 
 use crate::json::{Json, ParseError};
 
+/// The tracer's degradation bits, as carried in
+/// [`HealthSnapshot::degraded_bits`].
+///
+/// The constants mirror `btrace-core`'s internal `TracerState` bitset
+/// (a cross-crate test in core keeps them in sync). Each bit is either
+/// **sticky** — it records that a degradation happened and stays set for
+/// the life of the tracer — or **self-healing** — it reflects an ongoing
+/// condition and clears when the condition resolves.
+pub mod degraded {
+    /// A backing commit failed permanently; capacity may be below target.
+    /// Sticky.
+    pub const COMMIT_FAILED: u64 = 1 << 0;
+    /// Memory reclamation after a shrink was deferred; physical footprint
+    /// temporarily exceeds the logical capacity. Self-healing.
+    pub const RECLAIM_DEFERRED: u64 = 1 << 1;
+    /// The resize lock was recovered from a poisoned state. Sticky.
+    pub const LOCK_RECOVERED: u64 = 1 << 2;
+
+    /// Description of one degradation bit.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct BitInfo {
+        /// The bit value.
+        pub bit: u64,
+        /// Stable snake_case name.
+        pub name: &'static str,
+        /// `true` if the bit never clears once set.
+        pub sticky: bool,
+    }
+
+    /// Every known degradation bit, in bit order.
+    pub const ALL: [BitInfo; 3] = [
+        BitInfo { bit: COMMIT_FAILED, name: "commit_failed", sticky: true },
+        BitInfo { bit: RECLAIM_DEFERRED, name: "reclaim_deferred", sticky: false },
+        BitInfo { bit: LOCK_RECOVERED, name: "lock_recovered", sticky: true },
+    ];
+
+    /// Renders a bitset as a compact label, e.g.
+    /// `commit_failed!+reclaim_deferred` (`!` marks sticky bits), or
+    /// `ok` when no bits are set.
+    pub fn describe(bits: u64) -> String {
+        if bits == 0 {
+            return "ok".to_string();
+        }
+        let mut parts: Vec<String> = ALL
+            .iter()
+            .filter(|info| bits & info.bit != 0)
+            .map(|info| if info.sticky { format!("{}!", info.name) } else { info.name.to_string() })
+            .collect();
+        let known: u64 = ALL.iter().map(|i| i.bit).sum();
+        if bits & !known != 0 {
+            parts.push(format!("{:#x}", bits & !known));
+        }
+        parts.join("+")
+    }
+}
+
 /// Condensed latency distribution (nanoseconds), produced by
 /// [`crate::HistogramSnapshot::summary`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -88,7 +144,7 @@ impl CoreHealth {
 
 /// Per-stage gauges of a streaming drain pipeline (`drain → batch →
 /// encode → sink`), attached to snapshots while a stream session runs.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StageHealth {
     /// Stage name (`drain`, `batch`, `encode`, `sink`).
     pub stage: String,
@@ -102,6 +158,10 @@ pub struct StageHealth {
     pub out_items: u64,
     /// Items dropped at this stage by the backpressure policy.
     pub dropped: u64,
+    /// Per-item stage processing latency (span-timed, ns).
+    pub latency: LatencySummary,
+    /// Time items spent waiting in the stage's inlet queue (ns).
+    pub queue_wait: LatencySummary,
 }
 
 impl StageHealth {
@@ -113,10 +173,18 @@ impl StageHealth {
             ("in_items".into(), Json::from_u64(self.in_items)),
             ("out_items".into(), Json::from_u64(self.out_items)),
             ("dropped".into(), Json::from_u64(self.dropped)),
+            ("latency".into(), self.latency.to_json()),
+            ("queue_wait".into(), self.queue_wait.to_json()),
         ])
     }
 
     fn from_json(v: &Json) -> Option<Self> {
+        // `latency`/`queue_wait` are absent on lines written before span
+        // instrumentation; decode those as empty summaries.
+        let summary = |key: &str| match v.get(key) {
+            Some(obj) => LatencySummary::from_json(obj),
+            None => Some(LatencySummary::default()),
+        };
         Some(Self {
             stage: v.get("stage")?.as_str()?.to_string(),
             depth: v.get("depth")?.as_usize()?,
@@ -124,6 +192,8 @@ impl StageHealth {
             in_items: v.get("in_items")?.as_u64()?,
             out_items: v.get("out_items")?.as_u64()?,
             dropped: v.get("dropped")?.as_u64()?,
+            latency: summary("latency")?,
+            queue_wait: summary("queue_wait")?,
         })
     }
 }
@@ -213,6 +283,8 @@ pub struct HealthSnapshot {
     pub resize_fallbacks: u64,
     /// Poisoned resize locks recovered.
     pub lock_recoveries: u64,
+    /// Current `TracerState` degradation bitset (see [`degraded`]).
+    pub degraded_bits: u64,
     /// Exporter I/O retries performed (filled by the sampler).
     pub export_retries: u64,
     /// Snapshots dropped after exhausting exporter retries (sampler).
@@ -263,6 +335,7 @@ impl HealthSnapshot {
             ("commit_failures".into(), Json::from_u64(self.commit_failures)),
             ("resize_fallbacks".into(), Json::from_u64(self.resize_fallbacks)),
             ("lock_recoveries".into(), Json::from_u64(self.lock_recoveries)),
+            ("degraded_bits".into(), Json::from_u64(self.degraded_bits)),
             ("export_retries".into(), Json::from_u64(self.export_retries)),
             ("export_drops".into(), Json::from_u64(self.export_drops)),
             ("effectivity_observed".into(), Json::from_f64(self.effectivity_observed)),
@@ -311,6 +384,11 @@ impl HealthSnapshot {
             commit_failures: v.get("commit_failures")?.as_u64()?,
             resize_fallbacks: v.get("resize_fallbacks")?.as_u64()?,
             lock_recoveries: v.get("lock_recoveries")?.as_u64()?,
+            // Absent on snapshots written before state bits were exported.
+            degraded_bits: match v.get("degraded_bits") {
+                Some(bits) => bits.as_u64()?,
+                None => 0,
+            },
             export_retries: v.get("export_retries")?.as_u64()?,
             export_drops: v.get("export_drops")?.as_u64()?,
             effectivity_observed: v.get("effectivity_observed")?.as_f64()?,
@@ -400,6 +478,24 @@ impl HealthSnapshot {
             family(&mut out, "gauge", name, help, &value);
         }
 
+        family(
+            &mut out,
+            "gauge",
+            "degraded_bits",
+            "TracerState degradation bitset (0 = healthy).",
+            &self.degraded_bits.to_string(),
+        );
+        out.push_str("# HELP btrace_degraded TracerState degradation bits (1 = set).\n");
+        out.push_str("# TYPE btrace_degraded gauge\n");
+        for info in degraded::ALL {
+            out.push_str(&format!(
+                "btrace_degraded{{bit=\"{}\",sticky=\"{}\"}} {}\n",
+                info.name,
+                info.sticky,
+                u64::from(self.degraded_bits & info.bit != 0)
+            ));
+        }
+
         out.push_str("# HELP btrace_core_records_total Entries recorded per core.\n");
         out.push_str("# TYPE btrace_core_records_total counter\n");
         for core in &self.per_core {
@@ -433,6 +529,35 @@ impl HealthSnapshot {
                         "btrace_{name}{{stage=\"{}\"}} {}\n",
                         stage.stage,
                         pick(stage)
+                    ));
+                }
+            }
+            for (name, help, pick) in [
+                (
+                    "stream_stage_latency_ns",
+                    "Per-item stage latency quantiles (span-timed, ns).",
+                    (|s: &StageHealth| &s.latency) as fn(&StageHealth) -> &LatencySummary,
+                ),
+                (
+                    "stream_stage_queue_wait_ns",
+                    "Inlet queue wait quantiles (span-timed, ns).",
+                    |s| &s.queue_wait,
+                ),
+            ] {
+                out.push_str(&format!(
+                    "# HELP btrace_{name} {help}\n# TYPE btrace_{name} summary\n"
+                ));
+                for stage in &self.stream_stages {
+                    let summary = pick(stage);
+                    for (q, v) in [("0.5", summary.p50), ("0.99", summary.p99)] {
+                        out.push_str(&format!(
+                            "btrace_{name}{{stage=\"{}\",quantile=\"{q}\"}} {v}\n",
+                            stage.stage
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "btrace_{name}_count{{stage=\"{}\"}} {}\n",
+                        stage.stage, summary.count
                     ));
                 }
             }
@@ -500,6 +625,7 @@ mod tests {
             commit_failures: 5,
             resize_fallbacks: 1,
             lock_recoveries: 1,
+            degraded_bits: degraded::COMMIT_FAILED | degraded::RECLAIM_DEFERRED,
             export_retries: 3,
             export_drops: 1,
             effectivity_observed: 0.999,
@@ -535,6 +661,7 @@ mod tests {
                     in_items: 5000,
                     out_items: 5000,
                     dropped: 0,
+                    ..StageHealth::default()
                 },
                 StageHealth {
                     stage: "sink".into(),
@@ -543,6 +670,24 @@ mod tests {
                     in_items: 41,
                     out_items: 38,
                     dropped: 2,
+                    latency: LatencySummary {
+                        count: 41,
+                        mean_ns: 820.0,
+                        p50: 700,
+                        p90: 1200,
+                        p99: 2100,
+                        p999: 2500,
+                        max: 2600,
+                    },
+                    queue_wait: LatencySummary {
+                        count: 41,
+                        mean_ns: 90.0,
+                        p50: 80,
+                        p90: 150,
+                        p99: 240,
+                        p999: 300,
+                        max: 310,
+                    },
                 },
             ],
         }
@@ -579,6 +724,47 @@ mod tests {
     }
 
     #[test]
+    fn pre_observability_snapshots_still_decode() {
+        // Lines written before `degraded_bits` and the stage latency
+        // summaries existed must still parse, with the new fields at
+        // their defaults.
+        let line = "{\"seq\":0,\"unix_ms\":0,\"cores\":1,\"capacity_blocks\":1,\
+            \"active_blocks\":1,\"block_bytes\":1,\"capacity_bytes\":1,\
+            \"committed_bytes\":0,\"open_blocks\":0,\"mean_occupancy\":0.0,\
+            \"records\":0,\"recorded_bytes\":0,\"dummy_bytes\":0,\"advances\":0,\
+            \"closes\":0,\"skips\":0,\"straggler_repairs\":0,\"resizes\":0,\
+            \"commit_failures\":0,\"resize_fallbacks\":0,\"lock_recoveries\":0,\
+            \"export_retries\":0,\"export_drops\":0,\"effectivity_observed\":0.0,\
+            \"effectivity_bound\":0.0,\"skip_rate\":0.0,\"per_core\":[],\
+            \"record_latency\":{\"count\":0,\"mean_ns\":0.0,\"p50\":0,\"p90\":0,\
+            \"p99\":0,\"p999\":0,\"max\":0},\
+            \"advance_latency\":{\"count\":0,\"mean_ns\":0.0,\"p50\":0,\"p90\":0,\
+            \"p99\":0,\"p999\":0,\"max\":0},\
+            \"drain_latency\":{\"count\":0,\"mean_ns\":0.0,\"p50\":0,\"p90\":0,\
+            \"p99\":0,\"p999\":0,\"max\":0},\
+            \"rates\":{\"window_secs\":0.0,\"records_per_sec\":0.0,\
+            \"bytes_per_sec\":0.0,\"advances_per_sec\":0.0,\"skips_per_sec\":0.0},\
+            \"stream_stages\":[{\"stage\":\"sink\",\"depth\":0,\"capacity\":0,\
+            \"in_items\":7,\"out_items\":7,\"dropped\":0}]}";
+        let parsed = HealthSnapshot::from_json(line).unwrap();
+        assert_eq!(parsed.degraded_bits, 0);
+        assert_eq!(parsed.stream_stages[0].in_items, 7);
+        assert_eq!(parsed.stream_stages[0].latency, LatencySummary::default());
+        assert_eq!(parsed.stream_stages[0].queue_wait, LatencySummary::default());
+    }
+
+    #[test]
+    fn degraded_describe_marks_sticky_bits() {
+        assert_eq!(degraded::describe(0), "ok");
+        assert_eq!(degraded::describe(degraded::COMMIT_FAILED), "commit_failed!");
+        assert_eq!(
+            degraded::describe(degraded::COMMIT_FAILED | degraded::RECLAIM_DEFERRED),
+            "commit_failed!+reclaim_deferred"
+        );
+        assert!(degraded::describe(1 << 40).contains("0x"), "unknown bits stay visible");
+    }
+
+    #[test]
     fn rejects_truncated_input() {
         let line = sample().to_json();
         assert!(HealthSnapshot::from_json(&line[..line.len() / 2]).is_err());
@@ -597,6 +783,16 @@ mod tests {
         assert!(text.contains("btrace_commit_failures_total 5"));
         assert!(text.contains("btrace_stream_stage_depth{stage=\"sink\"} 3"));
         assert!(text.contains("btrace_stream_stage_dropped_total{stage=\"sink\"} 2"));
+        assert!(
+            text.contains("btrace_stream_stage_latency_ns{stage=\"sink\",quantile=\"0.99\"} 2100")
+        );
+        assert!(
+            text.contains("btrace_stream_stage_queue_wait_ns{stage=\"sink\",quantile=\"0.5\"} 80")
+        );
+        assert!(text.contains("btrace_stream_stage_latency_ns_count{stage=\"sink\"} 41"));
+        assert!(text.contains("btrace_degraded_bits 3"));
+        assert!(text.contains("btrace_degraded{bit=\"commit_failed\",sticky=\"true\"} 1"));
+        assert!(text.contains("btrace_degraded{bit=\"lock_recovered\",sticky=\"true\"} 0"));
         assert!(text.contains("btrace_export_drops_total 1"));
         // Every line is either a comment or `name[{labels}] value`.
         for line in text.lines() {

@@ -38,4 +38,5 @@ pub use btrace_core as core;
 pub use btrace_persist as persist;
 pub use btrace_replay as replay;
 pub use btrace_smr as smr;
+pub use btrace_telemetry as telemetry;
 pub use btrace_vmem as vmem;
