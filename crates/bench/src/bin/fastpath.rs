@@ -6,6 +6,11 @@
 //! * **single** — ns per `record_with` for one producer (the number the
 //!   telemetry bench previously put at 63.71 ns with timing off); best of
 //!   several interleaved rounds.
+//! * **coalesced** — the same loop with confirm coalescing on: the
+//!   producer batches its `Confirmed` advances into one Release RMW per
+//!   block run instead of one per record, trading confirm latency (a
+//!   block's records stay invisible to consumers until its boundary) for
+//!   fast-path cycles.
 //! * **scaling** — 1/2/4/8 producers on distinct cores hammering the same
 //!   tracer; reports ns per record normalized by total records. The paper's
 //!   claim is per-core recording performance out of a shared buffer, so
@@ -22,10 +27,11 @@ const ITERS: u64 = 2_000_000;
 const ROUNDS: usize = 9;
 const SCALE_ITERS: u64 = 500_000;
 
-fn single_producer_ns() -> f64 {
+fn single_producer_ns(coalesce: bool) -> f64 {
     let tracer = btrace();
     tracer.set_record_timing(None);
     let producer = tracer.producer(0).expect("core 0 exists");
+    producer.set_confirm_coalescing(coalesce);
     let mut stamp = 0u64;
     let mut best = f64::INFINITY;
     for round in 0..=ROUNDS {
@@ -72,7 +78,8 @@ fn scaling_ns(producers: usize) -> f64 {
 
 fn main() {
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let single = single_producer_ns();
+    let single = single_producer_ns(false);
+    let coalesced = single_producer_ns(true);
     let scaling: Vec<(usize, f64)> =
         [1usize, 2, 4, 8].iter().map(|&n| (n, scaling_ns(n))).collect();
     let flat_base = scaling[0].1;
@@ -89,11 +96,14 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"record_with 31B payload, ns per record (best of {ROUNDS} rounds of {ITERS})\",\n  \
            \"single_producer_ns\": {single:.2},\n  \
+           \"single_producer_coalesced_ns\": {coalesced:.2},\n  \
+           \"coalescing_reduction_pct\": {:.2},\n  \
            \"baseline_single_producer_ns\": {baseline:.2},\n  \
            \"reduction_pct\": {:.2},\n  \
            \"scaling\": [\n{}\n  ],\n  \
            \"host_cpus\": {host_cpus},\n  \
            \"note\": \"scaling flatness is only meaningful when host_cpus >= producers; on a smaller host the threads time-share one core and the figure measures scheduler churn\"\n}}\n",
+        (1.0 - coalesced / single) * 100.0,
         (1.0 - single / baseline) * 100.0,
         scaling_json.join(",\n"),
     );

@@ -2,11 +2,15 @@
 //! sink` pipeline moves events out of a *live* tracer (producers still
 //! recording), and what it costs the producers.
 //!
-//! Writes `BENCH_stream.json`. Three measurements:
+//! Writes `BENCH_stream.json`. Measurements:
 //!
 //! * producer-only record rate (no consumer at all) — the reference;
 //! * record rate with the pipeline attached (counting sink) plus the
-//!   pipeline's sustained drain rate and miss count;
+//!   pipeline's sustained drain rate and miss count, at one drain thread
+//!   and at four stripe drain threads (`drain_threads`);
+//! * the sharded drain again with confirm-coalescing producers — the
+//!   producer-recovery configuration: one `Confirmed` Release RMW per
+//!   block run instead of one per record;
 //! * the same with the small `drop` policy queues, showing the shedding
 //!   path stays cheap.
 
@@ -21,6 +25,7 @@ const BLOCK: usize = 4096;
 const TOTAL: usize = 4 << 20;
 const PAYLOAD: &[u8] = b"stream bench payload, 31B......";
 const RUN_MS: u64 = 1500;
+const ROUNDS: usize = 3;
 
 fn tracer() -> Arc<BTrace> {
     Arc::new(
@@ -35,7 +40,9 @@ struct LoadResult {
 }
 
 /// Runs producers flat-out for `ms`, returning the aggregate record rate.
-fn run_load(t: &Arc<BTrace>, ms: u64) -> LoadResult {
+/// With `coalesce`, each producer batches its confirms into one Release
+/// RMW per block run (flushed by `Drop` at thread exit).
+fn run_load(t: &Arc<BTrace>, ms: u64, coalesce: bool) -> LoadResult {
     let stop = AtomicBool::new(false);
     let mut recorded = 0u64;
     let t0 = Instant::now();
@@ -43,6 +50,7 @@ fn run_load(t: &Arc<BTrace>, ms: u64) -> LoadResult {
         let handles: Vec<_> = (0..CORES)
             .map(|core| {
                 let p = t.producer(core).expect("core in range");
+                p.set_confirm_coalescing(coalesce);
                 let stop = &stop;
                 scope.spawn(move || {
                     let mut i = 0u64;
@@ -70,6 +78,8 @@ fn run_load(t: &Arc<BTrace>, ms: u64) -> LoadResult {
 
 struct StreamResult {
     load: LoadResult,
+    drain_threads: usize,
+    coalesced: bool,
     drained: u64,
     drain_rate: f64,
     frames: u64,
@@ -78,21 +88,48 @@ struct StreamResult {
     dropped_items: u64,
 }
 
-fn run_streamed(policy: Backpressure, queue_depth: usize) -> StreamResult {
+/// Best-of-`ROUNDS` by drain rate, same discipline as the fastpath bench:
+/// on a host with fewer CPUs than threads a single round is at the mercy
+/// of scheduler placement.
+fn run_streamed(
+    policy: Backpressure,
+    queue_depth: usize,
+    drain_threads: usize,
+    coalesce: bool,
+) -> StreamResult {
+    let mut best: Option<StreamResult> = None;
+    for _ in 0..ROUNDS {
+        let r = run_streamed_once(policy, queue_depth, drain_threads, coalesce);
+        if best.as_ref().is_none_or(|b| r.drain_rate > b.drain_rate) {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one round")
+}
+
+fn run_streamed_once(
+    policy: Backpressure,
+    queue_depth: usize,
+    drain_threads: usize,
+    coalesce: bool,
+) -> StreamResult {
     let t = tracer();
     let config = PipelineConfig {
         poll_interval: Duration::from_millis(1),
         queue_depth,
         backpressure: policy,
+        drain_threads,
         ..PipelineConfig::default()
     };
     let pipeline =
         StreamPipeline::spawn(Arc::clone(&t), Box::new(NullFrameSink::default()), config);
-    let load = run_load(&t, RUN_MS);
+    let load = run_load(&t, RUN_MS, coalesce);
     let stats = pipeline.stop();
     let secs = stats.elapsed.as_secs_f64();
     StreamResult {
         load,
+        drain_threads,
+        coalesced: coalesce,
         drained: stats.events_drained,
         drain_rate: stats.events_drained as f64 / secs,
         frames: stats.frames_written,
@@ -106,17 +143,23 @@ fn main() {
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     // Reference: producers alone, nothing draining.
-    let solo = run_load(&tracer(), RUN_MS);
+    let solo = run_load(&tracer(), RUN_MS, false);
 
-    let block = run_streamed(Backpressure::Block, 8);
-    let drop = run_streamed(Backpressure::DropAndCount, 2);
+    let block = run_streamed(Backpressure::Block, 8, 1, false);
+    let sharded = run_streamed(Backpressure::Block, 8, 4, false);
+    let recovered = run_streamed(Backpressure::Block, 8, 4, true);
+    let drop = run_streamed(Backpressure::DropAndCount, 2, 1, false);
 
     let overhead_pct = (1.0 - block.load.record_rate / solo.record_rate) * 100.0;
+    let recovered_pct = (1.0 - recovered.load.record_rate / solo.record_rate) * 100.0;
     let fmt = |r: &StreamResult, name: &str| {
         format!(
-            "    {{\"policy\": \"{name}\", \"events_recorded\": {}, \"record_rate_per_sec\": {:.0}, \
+            "    {{\"policy\": \"{name}\", \"drain_threads\": {}, \"coalesced_producers\": {}, \
+             \"events_recorded\": {}, \"record_rate_per_sec\": {:.0}, \
              \"events_drained\": {}, \"drain_rate_per_sec\": {:.0}, \"frames\": {}, \
              \"sink_mib_per_sec\": {:.2}, \"missed_blocks\": {}, \"dropped_items\": {}}}",
+            r.drain_threads,
+            r.coalesced,
             r.load.events_recorded,
             r.load.record_rate,
             r.drained,
@@ -131,12 +174,16 @@ fn main() {
         "{{\n  \"bench\": \"streaming drain pipeline, {CORES} producers live, 31B payloads, {RUN_MS} ms runs\",\n  \
            \"producer_only_rate_per_sec\": {:.0},\n  \
            \"producer_overhead_with_stream_pct\": {:.2},\n  \
-           \"runs\": [\n{},\n{}\n  ],\n  \
+           \"producer_overhead_sharded_coalesced_pct\": {:.2},\n  \
+           \"runs\": [\n{},\n{},\n{},\n{}\n  ],\n  \
            \"host_cpus\": {host_cpus},\n  \
            \"note\": \"missed_blocks counts ring laps the consumer lost; on a host with fewer CPUs than producers the drain thread time-shares with the load and misses are expected\"\n}}\n",
         solo.record_rate,
         overhead_pct,
+        recovered_pct,
         fmt(&block, "block"),
+        fmt(&sharded, "block-sharded"),
+        fmt(&recovered, "block-sharded-coalesced"),
         fmt(&drop, "drop"),
     );
     print!("{json}");

@@ -36,6 +36,7 @@ COMMANDS:
         --policy <block|drop>      backpressure policy (default block)
         --batch-events <N>         max events per frame (default 512)
         --queue-depth <N>          bound of each stage queue (default 8)
+        --drain-threads <K>        drain workers, one per sequence stripe (default 1)
         --json                     emit final stats as one JSON line
     doctor                         seeded fault-storm run, then loss forensics
         --fault-seed <N>           commit-fault plan seed, 0 disables (default 183)
@@ -114,6 +115,8 @@ pub enum Command {
         batch_events: usize,
         /// Bound of each inter-stage queue.
         queue_depth: usize,
+        /// Drain worker threads (stripes of the block-sequence space).
+        drain_threads: usize,
         /// Emit final stats as JSON instead of tables.
         json: bool,
     },
@@ -212,7 +215,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let (flags, opts) = flags_and_options(
                 it.as_slice(),
                 &["--json"],
-                &["--duration-ms", "--out", "--policy", "--batch-events", "--queue-depth"],
+                &[
+                    "--duration-ms",
+                    "--out",
+                    "--policy",
+                    "--batch-events",
+                    "--queue-depth",
+                    "--drain-threads",
+                ],
             )?;
             let block = match opts.get("--policy").map(String::as_str) {
                 None | Some("block") => true,
@@ -225,6 +235,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 block,
                 batch_events: parse_count(opts.get("--batch-events"), 512)?,
                 queue_depth: parse_count(opts.get("--queue-depth"), 8)?,
+                drain_threads: parse_count(opts.get("--drain-threads"), 1)?,
                 json: flags.contains(&"--json".to_string()),
             })
         }
@@ -415,6 +426,7 @@ mod tests {
                 block: true,
                 batch_events: 512,
                 queue_depth: 8,
+                drain_threads: 1,
                 json: false
             })
         );
@@ -426,12 +438,26 @@ mod tests {
                 block: false,
                 batch_events: 512,
                 queue_depth: 4,
+                drain_threads: 1,
                 json: true
+            })
+        );
+        assert_eq!(
+            parse(&argv("stream --drain-threads 4")),
+            Ok(Command::Stream {
+                duration_ms: 2000,
+                out: None,
+                block: true,
+                batch_events: 512,
+                queue_depth: 8,
+                drain_threads: 4,
+                json: false
             })
         );
         assert!(parse(&argv("stream --policy sideways")).is_err());
         assert!(parse(&argv("stream --batch-events 0")).is_err());
         assert!(parse(&argv("stream --queue-depth x")).is_err());
+        assert!(parse(&argv("stream --drain-threads 0")).is_err());
     }
 
     #[test]

@@ -448,6 +448,7 @@ pub fn stream(
     block: bool,
     batch_events: usize,
     queue_depth: usize,
+    drain_threads: usize,
     json: bool,
 ) -> i32 {
     let tracer = match telemetry_tracer() {
@@ -471,6 +472,7 @@ pub fn stream(
         batch_max_events: batch_events,
         queue_depth,
         backpressure: if block { Backpressure::Block } else { Backpressure::DropAndCount },
+        drain_threads,
         ..PipelineConfig::default()
     };
     let pipeline = StreamPipeline::spawn(std::sync::Arc::clone(&tracer), sink, config);

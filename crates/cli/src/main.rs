@@ -30,9 +30,23 @@ fn main() {
         Ok(Command::Watch { period_ms, duration_ms, jsonl, prom }) => {
             commands::watch(period_ms, duration_ms, jsonl.as_deref(), prom.as_deref())
         }
-        Ok(Command::Stream { duration_ms, out, block, batch_events, queue_depth, json }) => {
-            commands::stream(duration_ms, out.as_deref(), block, batch_events, queue_depth, json)
-        }
+        Ok(Command::Stream {
+            duration_ms,
+            out,
+            block,
+            batch_events,
+            queue_depth,
+            drain_threads,
+            json,
+        }) => commands::stream(
+            duration_ms,
+            out.as_deref(),
+            block,
+            batch_events,
+            queue_depth,
+            drain_threads,
+            json,
+        ),
         Ok(Command::Doctor { fault_seed, duration_ms, json }) => {
             commands::doctor(fault_seed, duration_ms, json)
         }

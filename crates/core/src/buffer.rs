@@ -115,6 +115,29 @@ impl Shared {
         self.data.store_words(self.data.block_offset(data_idx), &header.encode());
     }
 
+    /// True once every ratio published in the global word has its history
+    /// entry installed. A resize lands its global CAS *before* its
+    /// `history.push`; in that window, sequence numbers at or beyond the
+    /// new boundary are already claimable while `history.map` still
+    /// resolves them through the previous ratio — the wrong data block.
+    /// Consecutive transitions always change the ratio (a same-ratio
+    /// resize returns early), so the window is exactly when the two
+    /// ratios disagree. Anything that turns a history mapping into a
+    /// write, or into a permanent resolution, must hold off until this
+    /// returns true.
+    pub(crate) fn history_published(&self) -> bool {
+        self.history.latest_ratio() == self.global_pos().ratio
+    }
+
+    /// Spins (slow paths only) until the in-flight resize publication, if
+    /// any, lands its history entry. The wait is two stores on the
+    /// resizing thread.
+    pub(crate) fn wait_history_published(&self) {
+        while !self.history_published() {
+            crate::sync::spin_hint();
+        }
+    }
+
     /// Repairs a straggler allocation that landed in round `actual` of
     /// `meta_idx` instead of the expected round (§3.4): the space is validly
     /// owned, so fill it with dummy data and confirm it. The unconfirmed
@@ -127,6 +150,10 @@ impl Shared {
         }
         let fill = need.min(cap - actual.pos);
         let gpos = actual.rnd as u64 * self.active() as u64 + meta_idx as u64;
+        // A mapping read in the CAS→push window of a concurrent resize
+        // would misdirect the dummy fill into a *different live block*,
+        // destroying confirmed records there.
+        self.wait_history_published();
         let map = self.history.map(gpos);
         self.write_dummy_run(map.data_idx, actual.pos, fill);
         self.metas[meta_idx].confirm(fill);
@@ -449,6 +476,16 @@ impl BTrace {
     /// be encoded and shipped immediately.
     pub fn stream(&self) -> crate::StreamConsumer {
         crate::StreamConsumer::new(Arc::clone(&self.shared))
+    }
+
+    /// Returns a streaming consumer split into `shards` disjoint stripes
+    /// of the global block-sequence space (stripe `i` owns every block
+    /// whose sequence is `≡ i (mod shards)`), so closed blocks can be
+    /// drained by several threads in parallel. The stripes deliver
+    /// disjoint sets whose union is exactly the single-consumer stream
+    /// set; see [`crate::ShardedStreamConsumer`].
+    pub fn stream_sharded(&self, shards: usize) -> crate::ShardedStreamConsumer {
+        crate::ShardedStreamConsumer::new(Arc::clone(&self.shared), shards)
     }
 
     /// Snapshot of the diagnostic counters.

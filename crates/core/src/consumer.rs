@@ -106,6 +106,11 @@ pub(crate) fn close_current_blocks(shared: &Shared) {
     let cap = shared.cap();
     for core in 0..shared.cfg.cores {
         let local = shared.core_local(core);
+        // The dummy fill below writes through history mappings; a mapping
+        // read between a resize's global CAS and its history push would
+        // misdirect the fill into another live block (see
+        // `Shared::history_published`).
+        shared.wait_history_published();
         let map = shared.history.map(local.pos);
         if let crate::meta::Close::Fill { rnd, pos } =
             shared.metas[map.meta_idx].close(map.rnd, cap)

@@ -184,6 +184,17 @@ impl RatioHistory {
         self.entry_at(gpos).ratio
     }
 
+    /// Ratio of the newest published transition. Compared against the
+    /// ratio in the global `ratio_and_pos` word to detect a resize whose
+    /// global CAS has landed but whose history entry has not: consecutive
+    /// transitions always change the ratio, so during that window the two
+    /// disagree, and equality certifies the history covers every claimable
+    /// sequence number.
+    pub(crate) fn latest_ratio(&self) -> u16 {
+        let entries = self.entries.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        entries.last().expect("history never empty").ratio
+    }
+
     fn entry_at(&self, gpos: u64) -> HistEntry {
         // Same recovery rationale as `push`: readers can always use the
         // history a dead writer left behind.

@@ -75,7 +75,7 @@ pub use error::TraceError;
 pub use event::Event;
 pub use producer::{Grant, Producer};
 pub use stats::{Degraded, Stats, TracerState};
-pub use stream::{DrainedBatch, StreamConsumer, StreamStats};
+pub use stream::{DrainedBatch, ShardedStreamConsumer, StreamConsumer, StreamShard, StreamStats};
 #[cfg(feature = "model")]
 pub use sync::model_rt;
 pub use tail::{Polled, TailReader};

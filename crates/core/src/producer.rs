@@ -51,7 +51,6 @@ pub(crate) fn max_payload(block_bytes: usize) -> usize {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone)]
 pub struct Producer {
     shared: Arc<Shared>,
     core: u16,
@@ -70,6 +69,44 @@ pub struct Producer {
     /// which matches how handles are used — cloned per thread, never shared
     /// by reference.
     desc: Cell<Desc>,
+    /// Whether [`Producer::record_with`] defers confirmation (see
+    /// [`Producer::set_confirm_coalescing`]).
+    coalesce: Cell<bool>,
+    /// Unconfirmed bytes this handle has written into the cached block.
+    ///
+    /// Non-zero only under coalescing, and only ever for the block the
+    /// cached descriptor names: the run is flushed — one Release RMW
+    /// covering all of it — before the descriptor is re-seeded to another
+    /// block (the `#[cold]` refresh, i.e. a block boundary), on
+    /// [`Producer::flush_confirms`], and on drop. Holding the run
+    /// unconfirmed is exactly the open-grant state the protocol already
+    /// supports: an unconfirmed in-capacity allocation pins the block's
+    /// round (`meta.rs` invariant 2), so the bytes can be neither recycled
+    /// nor reclaimed before the flush.
+    pending_confirm: Cell<u32>,
+}
+
+impl Clone for Producer {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+            core: self.core,
+            desc: Cell::new(self.desc.get()),
+            coalesce: Cell::new(self.coalesce.get()),
+            // The pending run belongs to *this* handle's writes; a clone
+            // starting non-zero would confirm bytes it never wrote
+            // (double-confirm corrupts the round's accounting).
+            pending_confirm: Cell::new(0),
+        }
+    }
+}
+
+impl Drop for Producer {
+    fn drop(&mut self) {
+        // A dropped handle must not leave its block pinned forever: flush
+        // the coalesced run so the block can close and recycle.
+        self.flush_confirms();
+    }
 }
 
 /// See [`Producer::desc`].
@@ -95,7 +132,52 @@ impl Producer {
             data_idx: map.data_idx,
             data_off: shared.data.block_offset(map.data_idx),
         };
-        Self { shared, core, desc: Cell::new(desc) }
+        Self {
+            shared,
+            core,
+            desc: Cell::new(desc),
+            coalesce: Cell::new(false),
+            pending_confirm: Cell::new(0),
+        }
+    }
+
+    /// Enables or disables **confirm coalescing** on this handle.
+    ///
+    /// Coalescing replaces the per-record Release fetch-and-add of the
+    /// confirmed counter with one Release RMW per *run*: consecutive
+    /// records into the same block accumulate in a pending counter that is
+    /// flushed at the block boundary (the descriptor refresh), by
+    /// [`flush_confirms`](Self::flush_confirms), or on drop. That single
+    /// Release publishes every payload byte of the covered run — the same
+    /// release/acquire edge as before, amortized.
+    ///
+    /// The trade is **visibility latency**: records of the current block
+    /// stay invisible to consumers (and keep the block open) until the
+    /// covering flush. Safety is unchanged — the unconfirmed run pins the
+    /// block's round exactly like an open [`Grant`], so nothing is
+    /// recycled or reclaimed underneath it.
+    ///
+    /// Disabling flushes any pending run first. Default: disabled.
+    pub fn set_confirm_coalescing(&self, enabled: bool) {
+        if !enabled {
+            self.flush_confirms();
+        }
+        self.coalesce.set(enabled);
+    }
+
+    /// Whether confirm coalescing is enabled on this handle.
+    pub fn confirm_coalescing(&self) -> bool {
+        self.coalesce.get()
+    }
+
+    /// Confirms this handle's pending coalesced run, if any: one Release
+    /// RMW that publishes every record since the last flush. Call before
+    /// expecting a consumer to see the tail of a coalesced burst.
+    pub fn flush_confirms(&self) {
+        let pending = self.pending_confirm.replace(0);
+        if pending > 0 {
+            self.shared.confirm_entry(self.desc.get().meta_idx, pending);
+        }
     }
 
     /// Cached-descriptor allocation: one fetch-and-add against the cached
@@ -118,28 +200,48 @@ impl Producer {
         }
     }
 
-    /// Slow path: settle the failed allocation against the cached block,
-    /// then allocate through the shared path and re-seed the cache.
+    /// Slow path: settle the failed allocation against the cached block —
+    /// including the coalesced confirm run, whose covering Release lands
+    /// here, at the block boundary — then allocate through the shared path
+    /// and re-seed the cache.
     #[cold]
     fn refresh(&self, need: u32, fail: Alloc, d: Desc) -> Granted {
+        let pending = self.pending_confirm.replace(0);
         match fail {
             // We own the insufficient tail of the cached block: fill and
             // confirm it, exactly as the uncached path would (Fig. 8c). The
             // write is safe even against a concurrent shrink — the round
             // stays unconfirmed until our confirm, which the resize drain
-            // waits on before any page is decommitted.
+            // waits on before any page is decommitted. One Release RMW
+            // covers the coalesced run *and* the tail fill: the dummy bytes
+            // are stored above, the run's payload bytes were stored before
+            // their allocations returned, and the release orders all of
+            // them before any observer of the bumped counter.
             Alloc::Tail { pos } => {
                 let fill = self.shared.cap() - pos;
                 self.shared.write_dummy_run(d.data_idx, pos, fill);
-                self.shared.metas[d.meta_idx].confirm(fill);
+                self.shared.metas[d.meta_idx].confirm(pending + fill);
             }
             // The cached block was recycled into a newer round by a
             // wrap-around producer; our fetch-and-add inflated *that* round
             // and must be repaired, or its pin wedges the block (§3.4).
             Alloc::Stale(actual) => {
+                // A pending run pins the cached round (its bytes are
+                // unconfirmed), and a pinned round cannot be locked into a
+                // newer one — so Stale implies no pending run. Were the
+                // counter somehow non-zero, confirming into the *new*
+                // round would corrupt it; dropping the count is the only
+                // safe settlement (the old round no longer exists).
+                debug_assert_eq!(pending, 0, "unconfirmed coalesced run pins the round");
                 self.shared.repair_straggler(d.meta_idx, actual, need);
             }
-            Alloc::Exhausted => {}
+            Alloc::Exhausted => {
+                // The block filled under other writers; our run is its own
+                // covering confirm.
+                if pending > 0 {
+                    self.shared.metas[d.meta_idx].confirm(pending);
+                }
+            }
             Alloc::Fits { .. } => unreachable!("fast path handles Fits"),
         }
         let granted = self.shared.allocate(self.core as usize, need);
@@ -200,7 +302,16 @@ impl Producer {
             self.core,
             payload,
         );
-        shared.confirm_entry(granted.meta_idx, granted.len);
+        if self.coalesce.get() {
+            // Deferred: the covering Release happens at the block boundary
+            // (refresh), on flush_confirms, or on drop. `granted` is always
+            // the cached descriptor's block here — a boundary-crossing
+            // allocation went through refresh, which flushed the old run
+            // before re-seeding the descriptor.
+            self.pending_confirm.set(self.pending_confirm.get() + granted.len);
+        } else {
+            shared.confirm_entry(granted.meta_idx, granted.len);
+        }
         shared.counters.record_on_core(core, granted.len as u64);
         #[cfg(feature = "telemetry")]
         if let Some(t0) = timer {
@@ -605,6 +716,103 @@ mod tests {
             );
         }
         assert_eq!(out.events.last().unwrap().stamp(), 49);
+    }
+
+    #[test]
+    fn coalesced_run_is_invisible_until_flush() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        p.set_confirm_coalescing(true);
+        p.record_with(1, 0, b"deferred").unwrap();
+        p.record_with(2, 0, b"deferred").unwrap();
+        // The run is unconfirmed: its block cannot close, so nothing is
+        // visible yet — the same containment as an open grant.
+        assert_eq!(t.consumer().collect().events.len(), 0, "unflushed run must stay hidden");
+        p.flush_confirms();
+        let out = t.consumer().collect();
+        let stamps: Vec<_> = out.events.iter().map(|e| e.stamp()).collect();
+        assert_eq!(stamps, vec![1, 2], "the covering confirm publishes the whole run");
+    }
+
+    #[test]
+    fn coalesced_confirms_flush_at_block_boundaries() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        p.set_confirm_coalescing(true);
+        // 24-byte encoded entries into 256-byte blocks: every block
+        // boundary crossing must flush the previous block's run, so all
+        // but the current open block's records are visible without an
+        // explicit flush.
+        for i in 0..100u64 {
+            p.record_with(i, 0, b"cache-payload-16").unwrap();
+        }
+        let visible = t.consumer().collect().events.len();
+        assert!(visible >= 80, "closed blocks must be published by boundary flushes: {visible}");
+        p.flush_confirms();
+        let out = t.consumer().collect();
+        let stamps: Vec<_> = out.events.iter().map(|e| e.stamp()).collect();
+        let expected: Vec<u64> = (0..100).collect();
+        assert_eq!(stamps, expected, "flush publishes the tail; nothing lost or reordered");
+    }
+
+    #[test]
+    fn dropping_a_coalescing_producer_flushes_its_run() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        p.set_confirm_coalescing(true);
+        p.record_with(7, 0, b"flushed by drop").unwrap();
+        drop(p);
+        let out = t.consumer().collect();
+        assert_eq!(out.events.len(), 1);
+        assert_eq!(out.events[0].stamp(), 7);
+    }
+
+    #[test]
+    fn cloned_coalescing_handle_does_not_inherit_the_pending_run() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        p.set_confirm_coalescing(true);
+        p.record_with(1, 0, b"pending-on-p").unwrap();
+        let q = p.clone();
+        assert!(q.confirm_coalescing(), "the mode is inherited");
+        // q flushing must not confirm p's bytes (that would double-count
+        // and could close the block with p's entry still unpublished).
+        q.flush_confirms();
+        assert_eq!(t.consumer().collect().events.len(), 0, "clone owns no pending bytes");
+        p.flush_confirms();
+        assert_eq!(t.consumer().collect().events.len(), 1);
+    }
+
+    #[test]
+    fn disabling_coalescing_flushes_and_restores_immediate_visibility() {
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        p.set_confirm_coalescing(true);
+        p.record_with(1, 0, b"deferred").unwrap();
+        p.set_confirm_coalescing(false);
+        assert_eq!(t.consumer().collect().events.len(), 1, "disable flushes the run");
+        p.record_with(2, 0, b"immediate").unwrap();
+        assert_eq!(t.consumer().collect().events.len(), 2, "per-record confirms are back");
+    }
+
+    #[test]
+    fn coalesced_wraparound_preserves_integrity() {
+        // Wrap the 16-block buffer many times with coalescing on: every
+        // boundary flush must cover exactly its run, or a block would
+        // close early (torn reads) or never (wedged stream).
+        let t = tracer(1);
+        let p = t.producer(0).unwrap();
+        p.set_confirm_coalescing(true);
+        for i in 0..2_000u64 {
+            p.record_with(i, 0, b"wrap-the-buffer!").unwrap();
+        }
+        p.flush_confirms();
+        let out = t.consumer().collect();
+        assert!(!out.events.is_empty());
+        for e in &out.events {
+            assert_eq!(e.payload(), b"wrap-the-buffer!", "torn event at stamp {}", e.stamp());
+        }
+        assert_eq!(out.events.last().unwrap().stamp(), 1_999, "newest record retained");
     }
 
     proptest::proptest! {

@@ -156,6 +156,12 @@ fn read_incremental(
         ])
         .is_some_and(|h| h.kind == EntryKind::BlockHeader && h.stamp == gpos);
     if !header_ok {
+        // `Unavailable` is a permanent skip. Before taking it, rule out a
+        // mapping computed between a resize's global CAS and its history
+        // push (wrong data block): defer to the next poll, which re-maps.
+        if !shared.history_published() || shared.history.map(gpos) != map {
+            return BlockState::Pending;
+        }
         return BlockState::Unavailable;
     }
     let mut live = [0u64; 2];

@@ -26,7 +26,7 @@ use btrace_model::check::{
 use btrace_model::{explore, fingerprint, ModelConfig, Report, Sim};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Exactly-fitting payload: 8 payload bytes encode to 24 bytes, and a
 /// 256-byte block (16-byte block header + 240 usable) holds exactly 10
@@ -478,6 +478,107 @@ fn descriptor_preemption() {
                 readout.events.iter().any(|e| e.stamp() == newest),
                 "newest resumed event {newest} lost"
             );
+            check_counter_coherence(&t);
+        });
+    });
+    assert_coverage(report);
+}
+
+/// Confirm coalescing: a producer batches its confirms — one `Release`
+/// RMW per block run instead of one per record — while a two-stripe
+/// sharded drain polls concurrently and the buffer grows mid-stream. A
+/// deferred run must behave exactly like an open grant: no record is
+/// visible before its covering confirm (a premature read would surface as
+/// a torn payload or an invented stamp inside a poll), and once the
+/// producer drops — `Drop` is the flush point for the final, mid-block
+/// run — every record surfaces exactly once across the stripes.
+#[test]
+fn confirm_coalescing() {
+    const N: u64 = 25; // 2.5 blocks: the last run is still pending at drop
+    let report = explore("confirm_coalescing", ModelConfig::default(), |sim| {
+        let stride = 256 * 2;
+        let t = BTrace::new(
+            Config::new(1)
+                .active_blocks(2)
+                .block_bytes(256)
+                .buffer_bytes(stride * 2) // ratio 2, N = 4: 25 records never wrap
+                .max_bytes(stride * 8)
+                .backing(Backing::Heap),
+        )
+        .unwrap();
+        let produced_done = Arc::new(AtomicBool::new(false));
+        let resize_done = Arc::new(AtomicBool::new(false));
+        let streamed = Arc::new(Mutex::new(BTreeSet::new()));
+
+        {
+            let p = t.producer(0).unwrap();
+            p.set_confirm_coalescing(true);
+            let produced_done = Arc::clone(&produced_done);
+            sim.thread(move || {
+                for i in 0..N {
+                    p.record_with(i, 0, PAYLOAD).unwrap();
+                }
+                // 25 records end mid-block: dropping the handle is the
+                // pending run's flush point.
+                drop(p);
+                produced_done.store(true, Ordering::SeqCst);
+            });
+        }
+        {
+            let t = t.clone();
+            let produced_done = Arc::clone(&produced_done);
+            let resize_done = Arc::clone(&resize_done);
+            let streamed = Arc::clone(&streamed);
+            sim.thread(move || {
+                let mut sharded = t.stream_sharded(2);
+                let mut seen = BTreeSet::new();
+                // Poll until full quiescence. Mid-grow polls legitimately
+                // withhold blocks whose data index lies beyond the not yet
+                // published capacity, so the shutdown flush — like a real
+                // pipeline's — runs only after producers AND the resize
+                // have settled; then delivery must be total.
+                loop {
+                    let quiescent =
+                        produced_done.load(Ordering::SeqCst) && resize_done.load(Ordering::SeqCst);
+                    let batch = sharded.poll_all();
+                    for e in &batch.events {
+                        assert!(e.stamp() < N, "invented stamp {}", e.stamp());
+                        assert_eq!(
+                            e.payload(),
+                            PAYLOAD,
+                            "record visible before its covering confirm: stamp {} torn",
+                            e.stamp()
+                        );
+                        assert!(seen.insert(e.stamp()), "stamp {} delivered twice", e.stamp());
+                    }
+                    if quiescent {
+                        break;
+                    }
+                    model_rt::yield_spin();
+                }
+                let tail = sharded.flush_close_all();
+                for e in &tail.events {
+                    assert_eq!(e.payload(), PAYLOAD, "torn tail event: stamp {}", e.stamp());
+                    assert!(seen.insert(e.stamp()), "stamp {} delivered twice", e.stamp());
+                }
+                *streamed.lock().unwrap() = seen;
+            });
+        }
+        {
+            let t = t.clone();
+            let resize_done = Arc::clone(&resize_done);
+            sim.thread(move || {
+                t.resize_bytes(stride * 4).unwrap(); // grow to N = 8 mid-run
+                resize_done.store(true, Ordering::SeqCst);
+            });
+        }
+        sim.finally(move || {
+            // The workload cannot wrap (3 of at least 4 blocks touched), so
+            // delivery must be total: exactly once for all N stamps.
+            let produced: BTreeSet<u64> = (0..N).collect();
+            let got = streamed.lock().unwrap().clone();
+            assert_eq!(got, produced, "coalesced records must all surface exactly once");
+            assert_eq!(t.stats().resizes, 1);
             check_counter_coherence(&t);
         });
     });

@@ -55,6 +55,13 @@ pub struct PipelineConfig {
     pub batch_max_bytes: usize,
     /// Bound of each inter-stage queue, in items.
     pub queue_depth: usize,
+    /// Number of drain worker threads. With `K > 1` the global
+    /// block-sequence space is split into `K` disjoint stripes
+    /// ([`btrace_core::ShardedStreamConsumer`]); each worker owns one
+    /// stripe cursor and pushes its own poll batches, so closed blocks
+    /// are parsed and handed off in parallel. Per-stripe gauges surface
+    /// as extra `drain/<i>` rows in [`StreamPipeline::stage_health`].
+    pub drain_threads: usize,
     /// Policy when an inter-stage queue is full.
     pub backpressure: Backpressure,
     /// Retry schedule for sink writes; exhausted retries drop the frame
@@ -72,6 +79,7 @@ impl Default for PipelineConfig {
             batch_max_events: 512,
             batch_max_bytes: 256 << 10,
             queue_depth: 8,
+            drain_threads: 1,
             backpressure: Backpressure::Block,
             retry: RetryPolicy::default(),
             flush_on_stop: true,
@@ -414,10 +422,27 @@ struct Spanned<T> {
 /// above it, a [`EventKind::Backpressure`] event is recorded.
 const BACKPRESSURE_NOTE_NS: u64 = 1_000_000;
 
+/// Per-stripe accounting for one drain worker (populated only when
+/// `drain_threads > 1`; the aggregate `drain` stage is always maintained).
+#[derive(Debug, Default)]
+struct DrainShard {
+    counters: StageCounters,
+    /// Poll-to-handoff latency of this stripe's batches.
+    latency: Histogram,
+    /// Inlet wait is structurally zero for drain (no upstream queue);
+    /// kept so the per-shard row carries the same summary shape.
+    queue_wait: Histogram,
+    missed_blocks: AtomicU64,
+}
+
 struct Inner {
     stop: AtomicBool,
     started: Instant,
     stages: [StageCounters; 4],
+    /// One entry per drain stripe when sharded, else empty.
+    drain_shards: Vec<DrainShard>,
+    /// Live drain workers; the last one out closes `q_batch`.
+    drains_live: AtomicU64,
     /// Per-stage processing latency (span enter → exit, ns).
     latency: [Histogram; 4],
     /// Per-stage inlet queue wait (upstream push start → pop, ns).
@@ -508,17 +533,25 @@ impl std::fmt::Debug for Inner {
 }
 
 impl StreamPipeline {
-    /// Spawns the four stage threads against `tracer`, writing frames to
+    /// Spawns the stage threads against `tracer` — `drain_threads` stripe
+    /// drain workers plus batch, encode, and sink — writing frames to
     /// `sink`.
     pub fn spawn(
         tracer: Arc<BTrace>,
         sink: Box<dyn FrameSink>,
         config: PipelineConfig,
     ) -> StreamPipeline {
+        let drains = config.drain_threads.max(1);
         let inner = Arc::new(Inner {
             stop: AtomicBool::new(false),
             started: Instant::now(),
             stages: Default::default(),
+            drain_shards: if drains > 1 {
+                (0..drains).map(|_| DrainShard::default()).collect()
+            } else {
+                Vec::new()
+            },
+            drains_live: AtomicU64::new(drains as u64),
             latency: Default::default(),
             queue_wait: Default::default(),
             recorder: tracer.flight_recorder(),
@@ -533,21 +566,28 @@ impl StreamPipeline {
             queue_depth: config.queue_depth,
         });
 
-        let threads = vec![
-            spawn_drain(Arc::clone(&inner), tracer, config.clone()),
-            spawn_batch(Arc::clone(&inner), config.clone()),
-            spawn_encode(Arc::clone(&inner), config.clone()),
-            spawn_sink(Arc::clone(&inner), sink, config),
-        ];
+        let mut threads: Vec<_> = tracer
+            .stream_sharded(drains)
+            .into_shards()
+            .into_iter()
+            .enumerate()
+            .map(|(idx, shard)| spawn_drain(Arc::clone(&inner), shard, idx, config.clone()))
+            .collect();
+        threads.push(spawn_batch(Arc::clone(&inner), config.clone()));
+        threads.push(spawn_encode(Arc::clone(&inner), config.clone()));
+        threads.push(spawn_sink(Arc::clone(&inner), sink, config));
         StreamPipeline { inner, threads }
     }
 
-    /// Per-stage gauges in pipeline order, as telemetry records.
+    /// Per-stage gauges in pipeline order, as telemetry records. When the
+    /// drain is sharded (`drain_threads > 1`), one `drain/<i>` row per
+    /// stripe follows the four aggregate stages, flowing into the same
+    /// snapshot/Prometheus surface (the stage name is the label).
     pub fn stage_health(&self) -> Vec<StageHealth> {
         let inner = &self.inner;
         let depths = [0, inner.q_batch.depth(), inner.q_encode.depth(), inner.q_sink.depth()];
         let caps = [0, inner.queue_depth, inner.queue_depth, inner.queue_depth];
-        STAGE_NAMES
+        let mut rows: Vec<StageHealth> = STAGE_NAMES
             .iter()
             .enumerate()
             .zip(inner.stages.iter())
@@ -562,7 +602,20 @@ impl StreamPipeline {
                 latency: inner.latency[i].snapshot().summary(),
                 queue_wait: inner.queue_wait[i].snapshot().summary(),
             })
-            .collect()
+            .collect();
+        for (i, shard) in inner.drain_shards.iter().enumerate() {
+            rows.push(StageHealth {
+                stage: format!("drain/{i}"),
+                depth: 0,
+                capacity: 0,
+                in_items: shard.counters.in_items.load(Ordering::Relaxed),
+                out_items: shard.counters.out_items.load(Ordering::Relaxed),
+                dropped: shard.counters.dropped.load(Ordering::Relaxed),
+                latency: shard.latency.snapshot().summary(),
+                queue_wait: shard.queue_wait.snapshot().summary(),
+            });
+        }
+        rows
     }
 
     /// Snapshot of the pipeline's cumulative accounting.
@@ -596,21 +649,27 @@ impl StreamPipeline {
 
 fn spawn_drain(
     inner: Arc<Inner>,
-    tracer: Arc<BTrace>,
+    mut shard: btrace_core::StreamShard,
+    idx: usize,
     config: PipelineConfig,
 ) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
-        .name("btrace-stream-drain".into())
+        .name(format!("btrace-stream-drain-{idx}"))
         .spawn(move || {
-            let mut stream = tracer.stream();
             let push_events = |batch: btrace_core::DrainedBatch| {
                 let stage = &inner.stages[0];
+                let per_shard = inner.drain_shards.get(idx);
                 inner.missed_blocks.fetch_add(batch.missed_blocks as u64, Ordering::Relaxed);
+                if let Some(s) = per_shard {
+                    s.missed_blocks.fetch_add(batch.missed_blocks as u64, Ordering::Relaxed);
+                }
                 if batch.events.is_empty() {
                     return;
                 }
                 // Each non-empty poll opens a new span that the batch it
-                // produced carries through the rest of the pipeline.
+                // produced carries through the rest of the pipeline. Span
+                // ids are allocated from the shared counter, so spans stay
+                // unique across stripes.
                 let span = inner.next_span.fetch_add(1, Ordering::Relaxed) + 1;
                 let t0 = inner.recorder.now_ns();
                 inner.enter(0, span, 0);
@@ -626,6 +685,9 @@ fn spawn_drain(
                     .collect();
                 let n = events.len() as u64;
                 stage.in_items.fetch_add(n, Ordering::Relaxed);
+                if let Some(s) = per_shard {
+                    s.counters.in_items.fetch_add(n, Ordering::Relaxed);
+                }
                 let enqueued_ns = inner.recorder.now_ns();
                 let pushed = inner
                     .q_batch
@@ -634,20 +696,35 @@ fn spawn_drain(
                 inner.note_backpressure(0, span, now.saturating_sub(enqueued_ns));
                 if pushed {
                     stage.out_items.fetch_add(n, Ordering::Relaxed);
+                    if let Some(s) = per_shard {
+                        s.counters.out_items.fetch_add(n, Ordering::Relaxed);
+                        s.latency.record(now.saturating_sub(t0));
+                    }
                     inner.exit(0, span, now.saturating_sub(t0));
                 } else {
                     stage.dropped.fetch_add(n, Ordering::Relaxed);
+                    if let Some(s) = per_shard {
+                        s.counters.dropped.fetch_add(n, Ordering::Relaxed);
+                    }
                     inner.shed(0, span, n);
                 }
             };
             while !inner.stop.load(Ordering::Acquire) {
-                push_events(stream.poll());
+                push_events(shard.poll());
                 std::thread::sleep(config.poll_interval);
             }
             if config.flush_on_stop {
-                push_events(stream.flush_close());
+                // Every stripe closes the whole readable window (the CAS
+                // close is idempotent across stripes) and then drains its
+                // own remainder, so the union of final polls covers
+                // everything recorded before the last worker's close.
+                push_events(shard.flush_close());
             }
-            inner.q_batch.close();
+            // The batch stage outlives the drain until the *last* stripe
+            // has flushed.
+            if inner.drains_live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                inner.q_batch.close();
+            }
         })
         .expect("spawn drain stage")
 }
@@ -957,6 +1034,65 @@ mod tests {
         );
         assert!(health.iter().skip(1).all(|s| s.capacity == 8));
         pipeline.stop();
+    }
+
+    #[test]
+    fn sharded_pipeline_exports_every_event_exactly_once() {
+        let t = tracer();
+        let (sink, frames) = collecting_sink();
+        let config = PipelineConfig { drain_threads: 4, ..quick() };
+        let pipeline = StreamPipeline::spawn(Arc::clone(&t), Box::new(sink), config);
+        let writers: Vec<_> = (0..2)
+            .map(|core| {
+                let p = t.producer(core).unwrap();
+                std::thread::spawn(move || {
+                    for i in 0..3_000u64 {
+                        p.record_with(core as u64 * 100_000 + i, 0, b"streamed payload").unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let stats = pipeline.stop();
+        assert_eq!(stats.missed_blocks, 0, "512-block buffer holds the whole run");
+
+        let mut stamps: Vec<u64> = Vec::new();
+        for frame in decode_frames(&frames.lock().unwrap()).unwrap() {
+            stamps.extend(frame.events.iter().map(|e| e.stamp));
+        }
+        let total = stamps.len();
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), total, "no duplicates across stripes or frames");
+        let expected: Vec<u64> = (0..3_000u64).chain(100_000..103_000).collect();
+        assert_eq!(stamps, expected, "union of stripes exports every record exactly once");
+        assert_eq!(stats.events_drained, 6_000);
+    }
+
+    #[test]
+    fn sharded_stage_health_appends_per_stripe_rows() {
+        let t = tracer();
+        let p = t.producer(0).unwrap();
+        let config = PipelineConfig { drain_threads: 3, ..quick() };
+        let pipeline =
+            StreamPipeline::spawn(Arc::clone(&t), Box::new(NullFrameSink::default()), config);
+        for i in 0..2_000u64 {
+            p.record_with(i, 0, b"sharded health").unwrap();
+        }
+        let stats = pipeline.stop();
+        let names: Vec<&str> = stats.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["drain", "batch", "encode", "sink", "drain/0", "drain/1", "drain/2"],
+            "aggregate stages first, then one row per stripe"
+        );
+        let aggregate_in = stats.stages[0].in_items;
+        let striped_in: u64 =
+            stats.stages.iter().filter(|s| s.stage.starts_with("drain/")).map(|s| s.in_items).sum();
+        assert_eq!(striped_in, aggregate_in, "stripe rows partition the aggregate drain");
+        assert_eq!(aggregate_in, 2_000);
     }
 
     #[test]
