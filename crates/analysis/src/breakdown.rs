@@ -22,48 +22,19 @@ pub struct GroupStats {
 
 /// Per-core aggregates, sorted by core index.
 pub fn by_core(events: &[CollectedEvent]) -> Vec<GroupStats> {
-    group(events, |e| e.core as u32)
+    crate::parallel::GroupPartial::by_core(events).finish_by_key()
 }
 
 /// Per-thread aggregates, sorted descending by event count (hot threads
 /// first). Limited to the `top` busiest threads.
 pub fn by_thread(events: &[CollectedEvent], top: usize) -> Vec<GroupStats> {
-    let mut all = group(events, |e| e.tid);
-    all.sort_by(|a, b| b.events.cmp(&a.events).then(a.key.cmp(&b.key)));
-    all.truncate(top);
-    all
+    crate::parallel::GroupPartial::by_thread(events).finish_hot(top)
 }
 
 /// Production-speed skew across cores: max over min of per-core event
 /// counts (1.0 when perfectly balanced; `None` with fewer than two cores).
 pub fn core_skew(events: &[CollectedEvent]) -> Option<f64> {
-    let cores = by_core(events);
-    if cores.len() < 2 {
-        return None;
-    }
-    let max = cores.iter().map(|c| c.events).max()? as f64;
-    let min = cores.iter().map(|c| c.events).min()?.max(1) as f64;
-    Some(max / min)
-}
-
-fn group(events: &[CollectedEvent], key: impl Fn(&CollectedEvent) -> u32) -> Vec<GroupStats> {
-    use std::collections::BTreeMap;
-    let mut map: BTreeMap<u32, GroupStats> = BTreeMap::new();
-    for e in events {
-        let k = key(e);
-        let entry = map.entry(k).or_insert(GroupStats {
-            key: k,
-            events: 0,
-            bytes: 0,
-            oldest: u64::MAX,
-            newest: 0,
-        });
-        entry.events += 1;
-        entry.bytes += e.stored_bytes as u64;
-        entry.oldest = entry.oldest.min(e.stamp);
-        entry.newest = entry.newest.max(e.stamp);
-    }
-    map.into_values().collect()
+    crate::parallel::GroupPartial::by_core(events).skew()
 }
 
 #[cfg(test)]

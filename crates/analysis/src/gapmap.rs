@@ -38,38 +38,8 @@ impl Default for GapMapOptions {
 /// assert_eq!(map, "·····█████");
 /// ```
 pub fn gap_map(retained_stamps: &[u64], newest_written: u64, options: GapMapOptions) -> String {
-    let GapMapOptions { window, width } = options;
-    if width == 0 || window == 0 {
-        return String::new();
-    }
-    let start = newest_written.saturating_sub(window - 1);
-    let mut buckets = vec![0u64; width];
-    for &stamp in retained_stamps {
-        if stamp < start || stamp > newest_written {
-            continue;
-        }
-        let idx = ((stamp - start) * width as u64 / window) as usize;
-        buckets[idx.min(width - 1)] += 1;
-    }
-    let per_bucket_lo = window / width as u64; // bucket sizes differ by at most 1
-    buckets
-        .iter()
-        .map(|&count| {
-            let full = per_bucket_lo.max(1);
-            let frac = count as f64 / full as f64;
-            if frac >= 1.0 {
-                '█'
-            } else if frac >= 0.66 {
-                '▓'
-            } else if frac >= 0.33 {
-                '▒'
-            } else if count > 0 {
-                '░'
-            } else {
-                '·'
-            }
-        })
-        .collect()
+    crate::parallel::GapMapPartial::map(retained_stamps.iter().copied(), newest_written, options)
+        .render()
 }
 
 #[cfg(test)]

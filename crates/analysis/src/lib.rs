@@ -25,6 +25,7 @@ mod breakdown;
 mod doctor;
 mod gapmap;
 mod metrics;
+pub mod parallel;
 mod stats;
 mod table;
 
@@ -32,5 +33,9 @@ pub use breakdown::{by_core, by_thread, core_skew, GroupStats};
 pub use doctor::{diagnose, Diagnosis, Finding, LossWindow, Severity};
 pub use gapmap::{gap_map, GapMapOptions};
 pub use metrics::{analyze, Metrics};
+pub use parallel::{
+    fold_merge, map_reduce, GapMapPartial, GroupPartial, LatencyPartial, MetricsPartial,
+    TraceAnalysis, TracePartial,
+};
 pub use stats::{geometric_mean, percentile, BoxStats, LatencyStats};
 pub use table::Table;

@@ -60,47 +60,10 @@ impl Metrics {
 /// assert!((m.loss_rate - 2.0 / 9.0).abs() < 1e-9);
 /// ```
 pub fn analyze(events: &[CollectedEvent], capacity_bytes: usize) -> Metrics {
-    if events.is_empty() {
-        return Metrics::empty();
-    }
-    let mut sorted: Vec<(u64, u32)> = events.iter().map(|e| (e.stamp, e.stored_bytes)).collect();
-    sorted.sort_unstable_by_key(|&(stamp, _)| stamp);
-    sorted.dedup_by_key(|&mut (stamp, _)| stamp);
-
-    let retained_events = sorted.len();
-    let retained_bytes: u64 = sorted.iter().map(|&(_, b)| b as u64).sum();
-
-    let mut fragments = 1usize;
-    let mut run_start = 0usize;
-    let mut last_run_start = 0usize;
-    for i in 1..sorted.len() {
-        if sorted[i].0 != sorted[i - 1].0 + 1 {
-            fragments += 1;
-            run_start = i;
-        }
-        last_run_start = run_start;
-    }
-    let latest: &[(u64, u32)] = &sorted[last_run_start..];
-    let latest_fragment_bytes: u64 = latest.iter().map(|&(_, b)| b as u64).sum();
-
-    let oldest = sorted.first().expect("non-empty").0;
-    let newest = sorted.last().expect("non-empty").0;
-    let range = newest - oldest + 1;
-    let loss_rate = (range - retained_events as u64) as f64 / range as f64;
-
-    Metrics {
-        retained_events,
-        retained_bytes,
-        latest_fragment_bytes,
-        latest_fragment_events: latest.len(),
-        fragments,
-        loss_rate,
-        effectivity_ratio: if capacity_bytes == 0 {
-            0.0
-        } else {
-            latest_fragment_bytes as f64 / capacity_bytes as f64
-        },
-    }
+    // One fragment covering the whole trace: the sequential path is the
+    // degenerate case of the fragment monoid, so parallel and sequential
+    // results agree by construction (see `parallel`).
+    crate::parallel::MetricsPartial::map(events).finish(capacity_bytes)
 }
 
 #[cfg(test)]

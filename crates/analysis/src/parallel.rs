@@ -1,0 +1,623 @@
+//! Fragment-parallel analysis: per-fragment `map` partials with associative
+//! `merge` for every pass in this crate, plus a small `std::thread::scope`
+//! map-reduce pool.
+//!
+//! Every partial in this module is a **monoid homomorphism** over event
+//! slices: for any split of an event sequence into fragments `A ++ B`,
+//!
+//! ```text
+//! map(A ++ B) == merge(map(A), map(B))
+//! ```
+//!
+//! and `merge` is associative, so folding per-fragment partials in fragment
+//! order produces *bit-identical* results to a single sequential pass no
+//! matter how the work was scheduled across threads. The sequential entry
+//! points (`analyze`, `gap_map`, `by_core`, …) are themselves implemented as
+//! `map(whole).finish()`, so there is exactly one code path to trust.
+//!
+//! Where the underlying data admits ties (duplicate stamps carrying
+//! different byte counts, which a defensive consumer can produce by
+//! delivering a block twice around a resize), the monoid fixes a canonical
+//! resolution — the **smallest** stored byte count wins — because `min` is
+//! associative while "whichever an unstable sort left first" is not.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use btrace_core::sink::CollectedEvent;
+
+use crate::{GapMapOptions, GroupStats, LatencyStats, Metrics};
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// Maps `items` to partials on up to `threads` scoped worker threads and
+/// returns the results **in item order** (the schedule never leaks into the
+/// output). `threads <= 1` degenerates to a plain sequential loop on the
+/// calling thread — the parallel and sequential paths share `map`.
+///
+/// Work is claimed from a shared atomic index, so uneven items still
+/// balance: a worker that finishes a cheap fragment immediately steals the
+/// next unclaimed one.
+pub fn map_reduce<T, P, F>(items: &[T], threads: usize, map: F) -> Vec<P>
+where
+    T: Sync,
+    P: Send,
+    F: Fn(usize, &T) -> P + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, item)| map(i, item)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<P>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let partial = map(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(partial);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot poisoned").expect("worker filled slot"))
+        .collect()
+}
+
+/// Left-folds partials **in order** with an associative `merge`. Returns
+/// `None` for an empty input. Keeping the fold ordered (even though `merge`
+/// is associative) makes the reduction deterministic by inspection.
+pub fn fold_merge<P>(parts: Vec<P>, mut merge: impl FnMut(P, P) -> P) -> Option<P> {
+    let mut iter = parts.into_iter();
+    let first = iter.next()?;
+    Some(iter.fold(first, &mut merge))
+}
+
+// ---------------------------------------------------------------------------
+// Metrics monoid
+// ---------------------------------------------------------------------------
+
+/// Per-fragment partial for [`crate::analyze`]: the fragment's retained
+/// stamps, sorted and deduplicated, each carrying its stored byte count.
+///
+/// Duplicate stamps resolve to the smallest byte count (see module docs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsPartial {
+    /// Sorted by stamp, no duplicate stamps.
+    entries: Vec<(u64, u32)>,
+}
+
+impl MetricsPartial {
+    /// Maps one fragment's events to a partial.
+    pub fn map(events: &[CollectedEvent]) -> Self {
+        let mut entries: Vec<(u64, u32)> =
+            events.iter().map(|e| (e.stamp, e.stored_bytes)).collect();
+        // Sorting by (stamp, bytes) puts the smallest byte count first in
+        // every equal-stamp run, so the first-wins dedup below implements
+        // the canonical min-bytes rule.
+        entries.sort_unstable();
+        entries.dedup_by_key(|&mut (stamp, _)| stamp);
+        Self { entries }
+    }
+
+    /// Associative merge: sorted multiset union with min-bytes on stamp
+    /// collisions.
+    pub fn merge(self, other: Self) -> Self {
+        if self.entries.is_empty() {
+            return other;
+        }
+        if other.entries.is_empty() {
+            return self;
+        }
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let mut a = self.entries.into_iter().peekable();
+        let mut b = other.entries.into_iter().peekable();
+        while let (Some(&(sa, ba)), Some(&(sb, bb))) = (a.peek(), b.peek()) {
+            match sa.cmp(&sb) {
+                std::cmp::Ordering::Less => out.push(a.next().expect("peeked")),
+                std::cmp::Ordering::Greater => out.push(b.next().expect("peeked")),
+                std::cmp::Ordering::Equal => {
+                    out.push((sa, ba.min(bb)));
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        out.extend(a);
+        out.extend(b);
+        Self { entries: out }
+    }
+
+    /// Finishes the reduction into [`Metrics`]. Identical arithmetic to the
+    /// historical sequential `analyze` (which now delegates here).
+    pub fn finish(&self, capacity_bytes: usize) -> Metrics {
+        let sorted = &self.entries;
+        if sorted.is_empty() {
+            return Metrics::empty();
+        }
+        let retained_events = sorted.len();
+        let retained_bytes: u64 = sorted.iter().map(|&(_, b)| b as u64).sum();
+
+        let mut fragments = 1usize;
+        let mut last_run_start = 0usize;
+        for i in 1..sorted.len() {
+            if sorted[i].0 != sorted[i - 1].0 + 1 {
+                fragments += 1;
+                last_run_start = i;
+            }
+        }
+        let latest = &sorted[last_run_start..];
+        let latest_fragment_bytes: u64 = latest.iter().map(|&(_, b)| b as u64).sum();
+
+        let oldest = sorted.first().expect("non-empty").0;
+        let newest = sorted.last().expect("non-empty").0;
+        let range = newest - oldest + 1;
+        let loss_rate = (range - retained_events as u64) as f64 / range as f64;
+
+        Metrics {
+            retained_events,
+            retained_bytes,
+            latest_fragment_bytes,
+            latest_fragment_events: latest.len(),
+            fragments,
+            loss_rate,
+            effectivity_ratio: if capacity_bytes == 0 {
+                0.0
+            } else {
+                latest_fragment_bytes as f64 / capacity_bytes as f64
+            },
+        }
+    }
+
+    /// The deduplicated retained stamps, sorted ascending.
+    pub fn stamps(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|&(stamp, _)| stamp)
+    }
+
+    /// Newest retained stamp, if any.
+    pub fn newest(&self) -> Option<u64> {
+        self.entries.last().map(|&(stamp, _)| stamp)
+    }
+
+    /// Number of deduplicated retained events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the partial holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Breakdown monoid
+// ---------------------------------------------------------------------------
+
+/// Per-fragment partial for the per-core / per-thread breakdowns. Keys map
+/// to running [`GroupStats`]; merge is field-wise (`+`, `min`, `max`), all
+/// associative and commutative.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupPartial {
+    groups: BTreeMap<u32, GroupStats>,
+}
+
+impl GroupPartial {
+    /// Maps one fragment's events keyed by core index.
+    pub fn by_core(events: &[CollectedEvent]) -> Self {
+        Self::map(events, |e| e.core as u32)
+    }
+
+    /// Maps one fragment's events keyed by thread id.
+    pub fn by_thread(events: &[CollectedEvent]) -> Self {
+        Self::map(events, |e| e.tid)
+    }
+
+    fn map(events: &[CollectedEvent], key: impl Fn(&CollectedEvent) -> u32) -> Self {
+        let mut groups: BTreeMap<u32, GroupStats> = BTreeMap::new();
+        for e in events {
+            let k = key(e);
+            let entry = groups.entry(k).or_insert(GroupStats {
+                key: k,
+                events: 0,
+                bytes: 0,
+                oldest: u64::MAX,
+                newest: 0,
+            });
+            entry.events += 1;
+            entry.bytes += e.stored_bytes as u64;
+            entry.oldest = entry.oldest.min(e.stamp);
+            entry.newest = entry.newest.max(e.stamp);
+        }
+        Self { groups }
+    }
+
+    /// Associative merge of two partials.
+    pub fn merge(mut self, other: Self) -> Self {
+        for (k, g) in other.groups {
+            match self.groups.entry(k) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(g);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let mine = slot.get_mut();
+                    mine.events += g.events;
+                    mine.bytes += g.bytes;
+                    mine.oldest = mine.oldest.min(g.oldest);
+                    mine.newest = mine.newest.max(g.newest);
+                }
+            }
+        }
+        self
+    }
+
+    /// Finishes into the [`crate::by_core`] ordering: ascending by key.
+    pub fn finish_by_key(&self) -> Vec<GroupStats> {
+        self.groups.values().copied().collect()
+    }
+
+    /// Finishes into the [`crate::by_thread`] ordering: descending by event
+    /// count (ties broken by key), truncated to the `top` busiest groups.
+    pub fn finish_hot(&self, top: usize) -> Vec<GroupStats> {
+        let mut all: Vec<GroupStats> = self.groups.values().copied().collect();
+        all.sort_by(|a, b| b.events.cmp(&a.events).then(a.key.cmp(&b.key)));
+        all.truncate(top);
+        all
+    }
+
+    /// Max-over-min event-count skew across groups, as in
+    /// [`crate::core_skew`]; `None` with fewer than two groups.
+    pub fn skew(&self) -> Option<f64> {
+        if self.groups.len() < 2 {
+            return None;
+        }
+        let max = self.groups.values().map(|g| g.events).max()? as f64;
+        let min = self.groups.values().map(|g| g.events).min()?.max(1) as f64;
+        Some(max / min)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gap-map monoid
+// ---------------------------------------------------------------------------
+
+/// Per-fragment partial for [`crate::gap_map`]: bucket hit counts over a
+/// fixed `(newest_written, options)` window. Merging partials adds counts
+/// element-wise — associative and commutative — so the rendered map is
+/// independent of fragmentation.
+///
+/// The window parameters are fixed at construction: all partials that merge
+/// must share them (checked with `assert_eq!`; mixing windows is a
+/// programming error, not a data defect).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GapMapPartial {
+    newest_written: u64,
+    options: GapMapOptions,
+    buckets: Vec<u64>,
+}
+
+impl GapMapPartial {
+    /// Creates an empty partial for the given window.
+    pub fn new(newest_written: u64, options: GapMapOptions) -> Self {
+        let width = if options.window == 0 { 0 } else { options.width };
+        Self { newest_written, options, buckets: vec![0; width] }
+    }
+
+    /// Maps one fragment's retained stamps.
+    pub fn map(
+        stamps: impl IntoIterator<Item = u64>,
+        newest_written: u64,
+        options: GapMapOptions,
+    ) -> Self {
+        let mut p = Self::new(newest_written, options);
+        p.accumulate(stamps);
+        p
+    }
+
+    /// Adds retained stamps to the bucket counts; stamps outside the window
+    /// are ignored.
+    pub fn accumulate(&mut self, stamps: impl IntoIterator<Item = u64>) {
+        let GapMapOptions { window, width } = self.options;
+        if width == 0 || window == 0 {
+            return;
+        }
+        let start = self.newest_written.saturating_sub(window - 1);
+        for stamp in stamps {
+            if stamp < start || stamp > self.newest_written {
+                continue;
+            }
+            let idx = ((stamp - start) * width as u64 / window) as usize;
+            self.buckets[idx.min(width - 1)] += 1;
+        }
+    }
+
+    /// Associative merge: element-wise bucket addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two partials were built for different windows.
+    pub fn merge(mut self, other: Self) -> Self {
+        assert_eq!(self.newest_written, other.newest_written, "gap-map window mismatch");
+        assert_eq!(self.options, other.options, "gap-map options mismatch");
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets) {
+            *mine += theirs;
+        }
+        self
+    }
+
+    /// Renders the merged buckets into the Fig. 1 retention row.
+    pub fn render(&self) -> String {
+        let GapMapOptions { window, width } = self.options;
+        if width == 0 || window == 0 {
+            return String::new();
+        }
+        let per_bucket_lo = window / width as u64; // bucket sizes differ by at most 1
+        self.buckets
+            .iter()
+            .map(|&count| {
+                let full = per_bucket_lo.max(1);
+                let frac = count as f64 / full as f64;
+                if frac >= 1.0 {
+                    '█'
+                } else if frac >= 0.66 {
+                    '▓'
+                } else if frac >= 0.33 {
+                    '▒'
+                } else if count > 0 {
+                    '░'
+                } else {
+                    '·'
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency monoid
+// ---------------------------------------------------------------------------
+
+/// Per-fragment partial for [`LatencyStats`]: the fragment's samples kept
+/// sorted; merge is a sorted merge, so the reduced sample is exactly the
+/// sorted concatenation regardless of fragmentation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyPartial {
+    sorted: Vec<u64>,
+}
+
+impl LatencyPartial {
+    /// Maps one fragment's latency samples.
+    pub fn map(samples: &[u64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Self { sorted }
+    }
+
+    /// Associative merge of two sorted samples.
+    pub fn merge(self, other: Self) -> Self {
+        if self.sorted.is_empty() {
+            return other;
+        }
+        if other.sorted.is_empty() {
+            return self;
+        }
+        let mut out = Vec::with_capacity(self.sorted.len() + other.sorted.len());
+        let mut a = self.sorted.into_iter().peekable();
+        let mut b = other.sorted.into_iter().peekable();
+        while let (Some(&va), Some(&vb)) = (a.peek(), b.peek()) {
+            if va <= vb {
+                out.push(a.next().expect("peeked"));
+            } else {
+                out.push(b.next().expect("peeked"));
+            }
+        }
+        out.extend(a);
+        out.extend(b);
+        Self { sorted: out }
+    }
+
+    /// Finishes into [`LatencyStats`] — identical to
+    /// [`LatencyStats::from_samples`] on the concatenated sample.
+    pub fn finish(&self) -> LatencyStats {
+        LatencyStats::from_sorted(&self.sorted)
+    }
+
+    /// Number of samples held.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combined one-pass partial
+// ---------------------------------------------------------------------------
+
+/// Everything the standard readout needs, mapped in one pass per fragment:
+/// retention metrics, per-core and per-thread breakdowns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TracePartial {
+    /// Retention-metrics partial.
+    pub metrics: MetricsPartial,
+    /// Per-core breakdown partial.
+    pub cores: GroupPartial,
+    /// Per-thread breakdown partial.
+    pub threads: GroupPartial,
+}
+
+impl TracePartial {
+    /// Maps one fragment's events.
+    pub fn map(events: &[CollectedEvent]) -> Self {
+        Self {
+            metrics: MetricsPartial::map(events),
+            cores: GroupPartial::by_core(events),
+            threads: GroupPartial::by_thread(events),
+        }
+    }
+
+    /// Associative merge of two fragment partials.
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            metrics: self.metrics.merge(other.metrics),
+            cores: self.cores.merge(other.cores),
+            threads: self.threads.merge(other.threads),
+        }
+    }
+
+    /// Finishes the reduction into a [`TraceAnalysis`].
+    pub fn finish(&self, capacity_bytes: usize, top_threads: usize) -> TraceAnalysis {
+        TraceAnalysis {
+            metrics: self.metrics.finish(capacity_bytes),
+            per_core: self.cores.finish_by_key(),
+            per_thread: self.threads.finish_hot(top_threads),
+            core_skew: self.cores.skew(),
+        }
+    }
+}
+
+/// The finished standard readout: what [`crate::analyze`], [`crate::by_core`],
+/// [`crate::by_thread`] and [`crate::core_skew`] would report sequentially.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct TraceAnalysis {
+    /// Retention metrics (Table 2).
+    pub metrics: Metrics,
+    /// Per-core aggregates, ascending by core index.
+    pub per_core: Vec<GroupStats>,
+    /// Hottest threads, descending by event count.
+    pub per_thread: Vec<GroupStats>,
+    /// Max-over-min per-core event skew.
+    pub core_skew: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, by_core, by_thread, core_skew, gap_map};
+
+    fn ev(stamp: u64, core: u16, tid: u32, bytes: u32) -> CollectedEvent {
+        CollectedEvent { stamp, core, tid, stored_bytes: bytes }
+    }
+
+    fn sample_events() -> Vec<CollectedEvent> {
+        // Two runs with a gap, multiple cores/threads, one duplicate stamp.
+        let mut events: Vec<CollectedEvent> = (0..40)
+            .chain(55..90)
+            .map(|s| ev(s, (s % 3) as u16, 100 + (s % 5) as u32, 16 + (s % 7) as u32))
+            .collect();
+        events.push(ev(60, 1, 103, 16 + 60 % 7));
+        events
+    }
+
+    #[test]
+    fn metrics_map_merge_matches_whole() {
+        let events = sample_events();
+        for split in [0, 1, 17, 40, events.len()] {
+            let (a, b) = events.split_at(split);
+            let merged = MetricsPartial::map(a).merge(MetricsPartial::map(b));
+            assert_eq!(merged, MetricsPartial::map(&events), "split at {split}");
+            assert_eq!(merged.finish(4096), analyze(&events, 4096));
+        }
+    }
+
+    #[test]
+    fn metrics_merge_is_associative() {
+        let events = sample_events();
+        let (a, rest) = events.split_at(20);
+        let (b, c) = rest.split_at(30);
+        let (pa, pb, pc) = (MetricsPartial::map(a), MetricsPartial::map(b), MetricsPartial::map(c));
+        let left = pa.clone().merge(pb.clone()).merge(pc.clone());
+        let right = pa.merge(pb.merge(pc));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn duplicate_stamps_resolve_to_min_bytes() {
+        let a = [ev(5, 0, 0, 32)];
+        let b = [ev(5, 1, 1, 8)];
+        let m = MetricsPartial::map(&a).merge(MetricsPartial::map(&b));
+        assert_eq!(m.finish(64).retained_bytes, 8);
+        // Same answer regardless of merge order or of mapping them together.
+        let m2 = MetricsPartial::map(&b).merge(MetricsPartial::map(&a));
+        let together = MetricsPartial::map(&[a[0], b[0]]);
+        assert_eq!(m, m2);
+        assert_eq!(m, together);
+    }
+
+    #[test]
+    fn group_partial_matches_sequential() {
+        let events = sample_events();
+        let (a, b) = events.split_at(33);
+        let merged = GroupPartial::by_core(a).merge(GroupPartial::by_core(b));
+        assert_eq!(merged.finish_by_key(), by_core(&events));
+        assert_eq!(merged.skew(), core_skew(&events));
+        let threads = GroupPartial::by_thread(a).merge(GroupPartial::by_thread(b));
+        assert_eq!(threads.finish_hot(3), by_thread(&events, 3));
+    }
+
+    #[test]
+    fn gap_map_partial_matches_sequential() {
+        let events = sample_events();
+        let stamps: Vec<u64> = events.iter().map(|e| e.stamp).collect();
+        let opts = GapMapOptions { window: 90, width: 12 };
+        let (a, b) = stamps.split_at(41);
+        let merged = GapMapPartial::map(a.iter().copied(), 89, opts).merge(GapMapPartial::map(
+            b.iter().copied(),
+            89,
+            opts,
+        ));
+        assert_eq!(merged.render(), gap_map(&stamps, 89, opts));
+    }
+
+    #[test]
+    fn latency_partial_matches_from_samples() {
+        let samples: Vec<u64> = (0..500).map(|i| (i * 7919) % 1000).collect();
+        let (a, b) = samples.split_at(123);
+        let merged = LatencyPartial::map(a).merge(LatencyPartial::map(b));
+        assert_eq!(merged.finish(), LatencyStats::from_samples(samples.clone()));
+    }
+
+    #[test]
+    fn map_reduce_returns_in_item_order() {
+        let items: Vec<u64> = (0..97).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = map_reduce(&items, threads, |i, &v| (i as u64, v * 2));
+            assert_eq!(out.len(), items.len());
+            for (i, &(idx, doubled)) in out.iter().enumerate() {
+                assert_eq!(idx, i as u64);
+                assert_eq!(doubled, items[i] * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_partial_round_trip() {
+        let events = sample_events();
+        let chunks: Vec<&[CollectedEvent]> = events.chunks(13).collect();
+        for threads in [1, 3] {
+            let parts = map_reduce(&chunks, threads, |_, chunk| TracePartial::map(chunk));
+            let reduced = fold_merge(parts, TracePartial::merge).expect("non-empty");
+            let finished = reduced.finish(4096, 8);
+            assert_eq!(finished.metrics, analyze(&events, 4096));
+            assert_eq!(finished.per_core, by_core(&events));
+            assert_eq!(finished.per_thread, by_thread(&events, 8));
+            assert_eq!(finished.core_skew, core_skew(&events));
+        }
+    }
+
+    #[test]
+    fn fold_merge_empty_is_none() {
+        assert!(fold_merge(Vec::<MetricsPartial>::new(), MetricsPartial::merge).is_none());
+    }
+}

@@ -56,12 +56,19 @@ impl LatencyStats {
     /// Computes the summary, consuming (and sorting) the sample.
     pub fn from_samples(mut samples: Vec<u64>) -> Self {
         samples.sort_unstable();
+        Self::from_sorted(&samples)
+    }
+
+    /// Computes the summary from an already-sorted sample (the merge side of
+    /// [`crate::parallel::LatencyPartial`] keeps samples sorted).
+    pub fn from_sorted(samples: &[u64]) -> Self {
+        debug_assert!(samples.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
         Self {
             count: samples.len(),
-            geomean_ns: geometric_mean(&samples),
-            p50_ns: percentile(&samples, 50.0),
-            p90_ns: percentile(&samples, 90.0),
-            p99_ns: percentile(&samples, 99.0),
+            geomean_ns: geometric_mean(samples),
+            p50_ns: percentile(samples, 50.0),
+            p90_ns: percentile(samples, 90.0),
+            p99_ns: percentile(samples, 99.0),
             max_ns: samples.last().copied().unwrap_or(0),
         }
     }

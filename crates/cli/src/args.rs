@@ -14,11 +14,16 @@ COMMANDS:
         --scenario <NAME>          workload (default eShop-1)
         --tracer <NAME>            BTrace|BBQ|ftrace|LTTng|VTrace (default BTrace)
         --scale <F>                fraction of the 30 s workload (default 0.05)
+        --threads <K>              fragment-parallel readout workers (default 1)
     dump                           replay, then persist the buffer to a file
         --scenario <NAME>          workload (default eShop-1)
         --out <FILE>               output path (default trace.btd)
         --scale <F>                fraction of the 30 s workload (default 0.05)
     inspect <FILE>                 analyze a dump file
+        --map                      also print the retention gap map
+    analyze <FILE>                 fragment-parallel analysis of a frame stream or dump
+        --threads <K>              worker threads (default 1 = sequential reference)
+        --fragments <N>            fragments to split into (default: one per thread)
         --map                      also print the retention gap map
     stat                           run a synthetic load, print a health snapshot
         --json                     emit the snapshot as one JSON line
@@ -36,7 +41,9 @@ COMMANDS:
         --policy <block|drop>      backpressure policy (default block)
         --batch-events <N>         max events per frame (default 512)
         --queue-depth <N>          bound of each stage queue (default 8)
-        --drain-threads <K>        drain workers, one per sequence stripe (default 1)
+        --drain-threads <K>        drain workers, one per sequence stripe
+                                   (default: min(4, host CPUs); K above the
+                                   host CPU count prints a warning)
         --json                     emit final stats as one JSON line
     doctor                         seeded fault-storm run, then loss forensics
         --fault-seed <N>           commit-fault plan seed, 0 disables (default 183)
@@ -64,6 +71,8 @@ pub enum Command {
         tracer: String,
         /// Workload scale.
         scale: f64,
+        /// Fragment-parallel readout workers (1 = sequential).
+        threads: usize,
     },
     /// Replay and persist.
     Dump {
@@ -78,6 +87,17 @@ pub enum Command {
     Inspect {
         /// Dump path.
         file: String,
+        /// Whether to print the gap map.
+        map: bool,
+    },
+    /// Fragment-parallel analysis of a frame stream (.btsf) or dump (.btd).
+    Analyze {
+        /// Input path.
+        file: String,
+        /// Worker threads (1 = the sequential reference).
+        threads: usize,
+        /// Fragment count (0 = one per thread).
+        fragments: usize,
         /// Whether to print the gap map.
         map: bool,
     },
@@ -116,7 +136,8 @@ pub enum Command {
         /// Bound of each inter-stage queue.
         queue_depth: usize,
         /// Drain worker threads (stripes of the block-sequence space).
-        drain_threads: usize,
+        /// `None` lets the command pick `min(4, host CPUs)`.
+        drain_threads: Option<usize>,
         /// Emit final stats as JSON instead of tables.
         json: bool,
     },
@@ -151,11 +172,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "demo" => Ok(Command::Demo),
         "help" | "--help" | "-h" => Ok(Command::Help),
         "replay" => {
-            let opts = options(it.as_slice(), &["--scenario", "--tracer", "--scale"])?;
+            let opts = options(it.as_slice(), &["--scenario", "--tracer", "--scale", "--threads"])?;
             Ok(Command::Replay {
                 scenario: opts.get("--scenario").cloned().unwrap_or_else(|| "eShop-1".into()),
                 tracer: opts.get("--tracer").cloned().unwrap_or_else(|| "BTrace".into()),
                 scale: parse_scale(opts.get("--scale"))?,
+                threads: parse_count(opts.get("--threads"), 1)?,
             })
         }
         "dump" => {
@@ -184,6 +206,39 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             let file = file.ok_or("inspect requires a file argument")?;
             Ok(Command::Inspect { file, map })
+        }
+        "analyze" => {
+            let mut file = None;
+            let mut map = false;
+            let mut opts = std::collections::BTreeMap::new();
+            let mut words = it;
+            while let Some(arg) = words.next() {
+                match arg.as_str() {
+                    "--map" => map = true,
+                    key @ ("--threads" | "--fragments") => {
+                        let value = words.next().ok_or(format!("{key} requires a value"))?;
+                        opts.insert(key.to_string(), value.to_string());
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown option {other}"))
+                    }
+                    other => {
+                        if file.replace(other.to_string()).is_some() {
+                            return Err("analyze takes exactly one file".into());
+                        }
+                    }
+                }
+            }
+            let file = file.ok_or("analyze requires a file argument")?;
+            Ok(Command::Analyze {
+                file,
+                threads: parse_count(opts.get("--threads"), 1)?,
+                fragments: match opts.get("--fragments") {
+                    None => 0,
+                    Some(v) => v.parse().map_err(|_| format!("invalid --fragments {v}"))?,
+                },
+                map,
+            })
         }
         "stat" => {
             let (flags, opts) = flags_and_options(
@@ -235,7 +290,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 block,
                 batch_events: parse_count(opts.get("--batch-events"), 512)?,
                 queue_depth: parse_count(opts.get("--queue-depth"), 8)?,
-                drain_threads: parse_count(opts.get("--drain-threads"), 1)?,
+                drain_threads: match opts.get("--drain-threads") {
+                    None => None,
+                    some => Some(parse_count(some, 1)?),
+                },
                 json: flags.contains(&"--json".to_string()),
             })
         }
@@ -362,8 +420,13 @@ mod tests {
         assert_eq!(parse(&[]), Ok(Command::Help));
         assert_eq!(parse(&argv("--help")), Ok(Command::Help));
         assert_eq!(
-            parse(&argv("replay --scenario IM --tracer LTTng --scale 0.2")),
-            Ok(Command::Replay { scenario: "IM".into(), tracer: "LTTng".into(), scale: 0.2 })
+            parse(&argv("replay --scenario IM --tracer LTTng --scale 0.2 --threads 4")),
+            Ok(Command::Replay {
+                scenario: "IM".into(),
+                tracer: "LTTng".into(),
+                scale: 0.2,
+                threads: 4
+            })
         );
         assert_eq!(
             parse(&argv("dump --out x.btd")),
@@ -376,12 +439,36 @@ mod tests {
     }
 
     #[test]
+    fn parses_analyze() {
+        assert_eq!(
+            parse(&argv("analyze frames.btsf")),
+            Ok(Command::Analyze {
+                file: "frames.btsf".into(),
+                threads: 1,
+                fragments: 0,
+                map: false
+            })
+        );
+        assert_eq!(
+            parse(&argv("analyze --threads 8 trace.btd --fragments 16 --map")),
+            Ok(Command::Analyze { file: "trace.btd".into(), threads: 8, fragments: 16, map: true })
+        );
+        assert!(parse(&argv("analyze")).is_err());
+        assert!(parse(&argv("analyze a b")).is_err());
+        assert!(parse(&argv("analyze x --threads 0")).is_err());
+        assert!(parse(&argv("analyze x --threads")).is_err());
+        assert!(parse(&argv("analyze x --fragments nope")).is_err());
+        assert!(parse(&argv("analyze x --bogus")).is_err());
+    }
+
+    #[test]
     fn defaults_apply() {
         match parse(&argv("replay")).unwrap() {
-            Command::Replay { scenario, tracer, scale } => {
+            Command::Replay { scenario, tracer, scale, threads } => {
                 assert_eq!(scenario, "eShop-1");
                 assert_eq!(tracer, "BTrace");
                 assert_eq!(scale, 0.05);
+                assert_eq!(threads, 1);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -426,7 +513,7 @@ mod tests {
                 block: true,
                 batch_events: 512,
                 queue_depth: 8,
-                drain_threads: 1,
+                drain_threads: None,
                 json: false
             })
         );
@@ -438,7 +525,7 @@ mod tests {
                 block: false,
                 batch_events: 512,
                 queue_depth: 4,
-                drain_threads: 1,
+                drain_threads: None,
                 json: true
             })
         );
@@ -450,7 +537,7 @@ mod tests {
                 block: true,
                 batch_events: 512,
                 queue_depth: 8,
-                drain_threads: 4,
+                drain_threads: Some(4),
                 json: false
             })
         );

@@ -1,14 +1,13 @@
 //! Command implementations. Each returns a process exit code.
 
-use btrace_analysis::{
-    analyze, by_core, by_thread, core_skew, diagnose, gap_map, GapMapOptions, Table,
-};
+use btrace_analysis::{diagnose, gap_map, GapMapOptions, Table, TraceAnalysis, TracePartial};
 use btrace_baselines::{Bbq, PerCoreDropNewest, PerCoreOverwrite, PerThread};
 use btrace_core::sink::CollectedEvent;
 use btrace_core::{BTrace, Backing, Config, FaultPlan};
 use btrace_persist::{
-    Backpressure, FileFrameSink, FrameSink, JsonlExporter, NullFrameSink, PipelineConfig,
-    PrometheusExporter, StreamPipeline, TraceDump,
+    analyze_frames, encode_stream, AnalyzeOptions, Backpressure, FileFrameSink, FrameSink,
+    JsonlExporter, NullFrameSink, ParallelAnalysis, PipelineConfig, PrometheusExporter,
+    StreamPipeline, TraceDump,
 };
 use btrace_replay::{scenarios, ReplayConfig, ReplayReport, Replayer};
 use btrace_telemetry::{
@@ -115,7 +114,11 @@ fn run(scenario_name: &str, tracer_name: &str, scale: f64) -> Result<ReplayRepor
 }
 
 fn print_report_analysis(events: &[CollectedEvent], capacity: usize, written: Option<u64>) {
-    let metrics = analyze(events, capacity);
+    print_trace_analysis(&TracePartial::map(events).finish(capacity, 8), written);
+}
+
+fn print_trace_analysis(analysis: &TraceAnalysis, written: Option<u64>) {
+    let metrics = &analysis.metrics;
     println!("events retained     {}", metrics.retained_events);
     if let Some(written) = written {
         println!("events written      {written}");
@@ -129,13 +132,13 @@ fn print_report_analysis(events: &[CollectedEvent], capacity: usize, written: Op
     println!("loss rate           {:.2}%", metrics.loss_rate * 100.0);
     println!("fragments           {}", metrics.fragments);
     println!("effectivity ratio   {:.3}", metrics.effectivity_ratio);
-    if let Some(skew) = core_skew(events) {
+    if let Some(skew) = analysis.core_skew {
         println!("core skew           {skew:.1}x");
     }
     println!("\nper-core breakdown:");
     let mut table =
         Table::new(vec!["Core".into(), "Events".into(), "KiB".into(), "Stamp range".into()]);
-    for c in by_core(events) {
+    for c in &analysis.per_core {
         table.row(vec![
             format!("C{}", c.key),
             c.events.to_string(),
@@ -146,14 +149,14 @@ fn print_report_analysis(events: &[CollectedEvent], capacity: usize, written: Op
     println!("{}", table.render());
     println!("hottest threads:");
     let mut table = Table::new(vec!["Tid".into(), "Events".into(), "KiB".into()]);
-    for t in by_thread(events, 8) {
+    for t in &analysis.per_thread {
         table.row(vec![t.key.to_string(), t.events.to_string(), (t.bytes / 1024).to_string()]);
     }
     println!("{}", table.render());
 }
 
 /// `btrace replay`
-pub fn replay(scenario: &str, tracer: &str, scale: f64) -> i32 {
+pub fn replay(scenario: &str, tracer: &str, scale: f64, threads: usize) -> i32 {
     match run(scenario, tracer, scale) {
         Ok(report) => {
             println!("replayed {} against {} (scale {scale})\n", report.scenario, report.tracer);
@@ -161,12 +164,115 @@ pub fn replay(scenario: &str, tracer: &str, scale: f64) -> i32 {
             if report.dropped_at_record > 0 {
                 println!("dropped at record   {}", report.dropped_at_record);
             }
+            if threads > 1 {
+                let per_fragment = (report.retained.len() / (threads * 2)).max(1);
+                let par = report.parallel_analysis(threads, per_fragment, 8);
+                let seq = report.parallel_analysis(1, per_fragment, 8);
+                let agree = par.analysis == seq.analysis
+                    && par.latency == seq.latency
+                    && par.state.merged == seq.state.merged;
+                println!(
+                    "\nfragment-parallel readout: {} fragments on {} threads, {} hand-off defects, \
+                     {} the sequential analysis",
+                    par.fragments,
+                    par.threads,
+                    par.state.defects.len(),
+                    if agree { "bit-identical to" } else { "DIVERGES from" },
+                );
+                if !agree {
+                    return 1;
+                }
+            }
             0
         }
         Err(message) => {
             eprintln!("error: {message}");
             1
         }
+    }
+}
+
+/// `btrace analyze`
+pub fn analyze(file: &str, threads: usize, fragments: usize, map: bool) -> i32 {
+    let bytes = match std::fs::read(file) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return 1;
+        }
+    };
+    // A BTSF frame stream is analyzed in place; a .btd dump is re-framed
+    // on the fly so both formats flow through the same fragment pipeline.
+    let frames = if bytes.starts_with(b"BTSF") {
+        bytes
+    } else {
+        match TraceDump::read_from(Path::new(file)) {
+            Ok(dump) => encode_stream(dump.events(), 512),
+            Err(e) => {
+                eprintln!("error: {file} is neither a BTSF stream nor a trace dump: {e}");
+                return 1;
+            }
+        }
+    };
+    let mut opts = AnalyzeOptions { threads, fragments, ..AnalyzeOptions::default() };
+    let mut out = match analyze_frames(&frames, &opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    if map && !out.state.is_empty() {
+        // Second pass with the window sized to the observed stamp range;
+        // fragment splitting and merge order are identical both times.
+        let window = out.state.last_stamp - out.state.first_stamp + 1;
+        opts.gap_map = Some(GapMapOptions { window, width: 72 });
+        out = match analyze_frames(&frames, &opts) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+    }
+    print_parallel_analysis(&out);
+    i32::from(!out.defects.is_empty())
+}
+
+fn print_parallel_analysis(out: &ParallelAnalysis) {
+    println!("frames              {} ({} legacy, footer-less)", out.frames, out.legacy_frames);
+    println!("fragments           {} on {} thread(s)", out.work.len(), out.threads);
+    let total_events: u64 = out.work.iter().map(|w| w.events).sum();
+    if !out.work.is_empty() && total_events > 0 {
+        println!("\nper-fragment work:");
+        let mut table = Table::new(vec![
+            "Fragment".into(),
+            "Frames".into(),
+            "Events".into(),
+            "KiB".into(),
+            "Busy us".into(),
+            "Share".into(),
+        ]);
+        for w in &out.work {
+            table.row(vec![
+                format!("F{}", w.fragment),
+                w.frames.to_string(),
+                w.events.to_string(),
+                (w.bytes / 1024).to_string(),
+                (w.busy_ns / 1000).to_string(),
+                format!("{:.1}%", w.events as f64 * 100.0 / total_events as f64),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    for defect in &out.defects {
+        println!("boundary defect: {defect}");
+    }
+    println!();
+    print_trace_analysis(&out.analysis, None);
+    if let Some(map) = &out.gap_map {
+        println!("retention gap map (old -> new):");
+        println!("|{map}|");
     }
 }
 
@@ -448,9 +554,23 @@ pub fn stream(
     block: bool,
     batch_events: usize,
     queue_depth: usize,
-    drain_threads: usize,
+    drain_threads: Option<usize>,
     json: bool,
 ) -> i32 {
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let drain_threads = match drain_threads {
+        Some(k) => {
+            if k > host_cpus {
+                eprintln!(
+                    "warning: --drain-threads {k} exceeds the {host_cpus} available CPU(s); \
+                     idle stripes serialize behind the scheduler and confirm coalescing \
+                     degrades — consider --drain-threads {host_cpus}"
+                );
+            }
+            k
+        }
+        None => 4.min(host_cpus),
+    };
     let tracer = match telemetry_tracer() {
         Ok(t) => std::sync::Arc::new(t),
         Err(e) => {

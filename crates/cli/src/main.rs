@@ -6,6 +6,7 @@
 //! btrace replay --scenario eShop-2 --tracer BTrace [--scale 0.1]
 //! btrace dump --scenario Video-1 --out trace.btd [--scale 0.1]
 //! btrace inspect trace.btd [--map]
+//! btrace analyze frames.btsf --threads 4 [--fragments 16] [--map]
 //! btrace stream --duration-ms 2000 [--out frames.btsf] [--policy block|drop]
 //! ```
 
@@ -19,11 +20,14 @@ fn main() {
     let code = match args::parse(&args) {
         Ok(Command::Scenarios) => commands::scenarios(),
         Ok(Command::Demo) => commands::demo(),
-        Ok(Command::Replay { scenario, tracer, scale }) => {
-            commands::replay(&scenario, &tracer, scale)
+        Ok(Command::Replay { scenario, tracer, scale, threads }) => {
+            commands::replay(&scenario, &tracer, scale, threads)
         }
         Ok(Command::Dump { scenario, out, scale }) => commands::dump(&scenario, &out, scale),
         Ok(Command::Inspect { file, map }) => commands::inspect(&file, map),
+        Ok(Command::Analyze { file, threads, fragments, map }) => {
+            commands::analyze(&file, threads, fragments, map)
+        }
         Ok(Command::Stat { json, duration_ms, jsonl, prom }) => {
             commands::stat(json, duration_ms, jsonl.as_deref(), prom.as_deref())
         }

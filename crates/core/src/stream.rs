@@ -155,7 +155,7 @@ impl StreamShard {
             // `cursor ≡ shard (mod stride)`, so the stripe members below
             // `lo` are `cursor, cursor+stride, …` — `⌈(lo-cursor)/stride⌉`
             // of them.
-            let members = (lo - *cursor + stride - 1) / stride;
+            let members = (lo - *cursor).div_ceil(stride);
             let resolved_below = delivered.range(..lo).count() as u64;
             out.missed_blocks = (members - resolved_below) as usize;
             *cursor += members * stride;

@@ -1,0 +1,449 @@
+//! Fragment splitting over BTSF streams: cut a dump at frame boundaries
+//! into self-describing [`FragmentContext`]s that replay and analysis can
+//! process independently on a worker pool.
+//!
+//! Splitting is **O(frames)**, not O(events): the per-frame index footer
+//! written by [`encode_frame`](crate::encode_frame) sits at a fixed offset
+//! from each frame's end, so the scanner reads frame headers and footers
+//! without decoding a single event. Footer-less legacy frames still scan
+//! (their header carries seq and count at fixed offsets); only the
+//! stamp/bitmap seed fields degrade to "unknown" for them.
+
+use std::io;
+use std::ops::Range;
+
+use btrace_core::sink::FullEvent;
+
+use crate::stream::{FOOTER_BYTES, FOOTER_MAGIC};
+use crate::{decode_frames, encode_frame, StreamFrame};
+
+/// The decoded per-frame index footer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct FrameIndex {
+    /// Smallest stamp in the frame; `u64::MAX` for an empty frame.
+    pub min_stamp: u64,
+    /// Largest stamp in the frame; 0 for an empty frame.
+    pub max_stamp: u64,
+    /// Folded 64-bit core bitmap (bit `min(core, 63)`).
+    pub core_bitmap: u64,
+    /// Event count (mirrors the frame header).
+    pub event_count: u32,
+    /// Sum of raw payload lengths.
+    pub payload_bytes: u64,
+}
+
+/// One frame's location and cheap metadata, from [`scan_frames`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct FrameInfo {
+    /// Byte offset of the frame start in the stream.
+    pub offset: usize,
+    /// Whole frame length in bytes (magic through crc).
+    pub len: usize,
+    /// Frame sequence number.
+    pub seq: u64,
+    /// Event count from the frame header.
+    pub events: u32,
+    /// Index footer, when the frame carries one.
+    pub index: Option<FrameIndex>,
+}
+
+fn bad(reason: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, reason.to_string())
+}
+
+/// Scans a BTSF stream in O(frames): frame boundaries from the length
+/// headers, seq/count from their fixed header offsets, and the index footer
+/// from its fixed tail offset. No event is decoded and no checksum is
+/// verified — fragments re-verify their own bytes when they decode.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on bad magic or a length header pointing
+/// outside the stream (structural corruption visible without decoding).
+pub fn scan_frames(bytes: &[u8]) -> io::Result<Vec<FrameInfo>> {
+    let mut infos = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        if rest.len() < 8 || &rest[..4] != crate::stream::FRAME_MAGIC {
+            return Err(bad("bad frame magic"));
+        }
+        let body_len = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes")) as usize;
+        if rest.len() < 8 + body_len || body_len < 20 {
+            return Err(bad("truncated frame"));
+        }
+        let len = 8 + body_len;
+        let seq = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
+        let events = u32::from_le_bytes(rest[16..20].try_into().expect("4 bytes"));
+        let index = probe_footer(&rest[..len], events);
+        infos.push(FrameInfo { offset, len, seq, events, index });
+        offset += len;
+    }
+    Ok(infos)
+}
+
+/// Parses the index footer at its fixed tail offset, validating it against
+/// the frame header (magic, event count, and the body-length arithmetic
+/// `12 + 18·count + payload_bytes + footer + crc == body_len`). Returns
+/// `None` for legacy footer-less frames.
+fn probe_footer(frame: &[u8], header_count: u32) -> Option<FrameIndex> {
+    // magic(4) + body_len(4) + seq(8) + count(4) + footer + crc(8)
+    if frame.len() < 8 + 12 + FOOTER_BYTES + 8 {
+        return None;
+    }
+    let footer = &frame[frame.len() - 8 - FOOTER_BYTES..frame.len() - 8];
+    if &footer[..4] != FOOTER_MAGIC {
+        return None;
+    }
+    let min_stamp = u64::from_le_bytes(footer[4..12].try_into().expect("8 bytes"));
+    let max_stamp = u64::from_le_bytes(footer[12..20].try_into().expect("8 bytes"));
+    let core_bitmap = u64::from_le_bytes(footer[20..28].try_into().expect("8 bytes"));
+    let event_count = u32::from_le_bytes(footer[28..32].try_into().expect("4 bytes"));
+    let payload_bytes = u64::from_le_bytes(footer[32..40].try_into().expect("8 bytes"));
+    if event_count != header_count {
+        return None;
+    }
+    // A legacy frame whose last event bytes merely *look* like a footer
+    // cannot also satisfy the length equation, because the pseudo-footer's
+    // 40 bytes would then be counted twice.
+    let expected_len =
+        8 + 12 + 18 * event_count as usize + payload_bytes as usize + FOOTER_BYTES + 8;
+    if expected_len != frame.len() {
+        return None;
+    }
+    Some(FrameIndex { min_stamp, max_stamp, core_bitmap, event_count, payload_bytes })
+}
+
+/// What the frame index promises lies **before** a fragment — the fragment's
+/// seeded entry state for the boundary hand-off check.
+///
+/// `events_before` and `frames_before` are always exact (frame headers carry
+/// counts even without footers). The stamp/bitmap/byte fields are `None`
+/// when any preceding frame lacks a footer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct FragmentSeed {
+    /// Frames in all preceding fragments.
+    pub frames_before: usize,
+    /// Events in all preceding fragments.
+    pub events_before: u64,
+    /// Raw payload bytes in all preceding fragments, if indexed.
+    pub payload_bytes_before: Option<u64>,
+    /// Largest stamp in all preceding fragments, if indexed and non-empty.
+    pub max_stamp_before: Option<u64>,
+    /// Folded core bitmap of all preceding fragments, if indexed.
+    pub core_bitmap_before: Option<u64>,
+}
+
+/// A self-describing slice of a BTSF stream: the frame range, its byte
+/// span, cheap totals, and the seeded entry state — everything a worker
+/// needs to decode and analyze the fragment independently, and everything
+/// the reducer needs to verify the boundary hand-off. The `(stream,
+/// byte-range)` pair is the continuation handle: [`decode`](Self::decode)
+/// resumes the stream exactly at the fragment's first frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct FragmentContext {
+    /// Fragment position (0-based, in stream order).
+    pub index: usize,
+    /// Frame indices covered (into the [`scan_frames`] result).
+    pub frames: Range<usize>,
+    /// Byte span in the stream.
+    pub bytes: Range<usize>,
+    /// Events in this fragment (from frame headers).
+    pub events: u64,
+    /// Raw payload bytes in this fragment, if every frame is indexed.
+    pub payload_bytes: Option<u64>,
+    /// Seeded entry state from the index of everything before.
+    pub seed: FragmentSeed,
+}
+
+impl FragmentContext {
+    /// Decodes the fragment's frames (crc verified per frame).
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] on corruption inside the fragment.
+    pub fn decode(&self, stream: &[u8]) -> io::Result<Vec<StreamFrame>> {
+        decode_frames(&stream[self.bytes.clone()])
+    }
+}
+
+/// Cuts scanned frames into at most `parts` contiguous fragments with
+/// near-equal event counts (each boundary lands within one frame of the
+/// ideal cut — frames are never split). Fewer fragments come back when
+/// there are fewer non-empty frames than requested parts.
+pub fn split_fragments(infos: &[FrameInfo], parts: usize) -> Vec<FragmentContext> {
+    let parts = parts.max(1);
+    let total_events: u64 = infos.iter().map(|f| f.events as u64).sum();
+    let mut fragments = Vec::new();
+    let mut frame_at = 0usize;
+    let mut events_done = 0u64;
+    let mut seed_payload = Some(0u64);
+    let mut seed_max_stamp: Option<u64> = None;
+    let mut seed_bitmap = Some(0u64);
+    let mut seed_known = true; // all frames so far carried footers
+    for part in 0..parts {
+        if frame_at >= infos.len() {
+            break;
+        }
+        // Ideal cumulative share after this part; the boundary is the first
+        // frame end at or past it.
+        let target = total_events * (part as u64 + 1) / parts as u64;
+        let start = frame_at;
+        let seed = FragmentSeed {
+            frames_before: start,
+            events_before: events_done,
+            payload_bytes_before: seed_payload,
+            max_stamp_before: seed_max_stamp,
+            core_bitmap_before: seed_bitmap,
+        };
+        let mut events = 0u64;
+        let mut payload = Some(0u64);
+        while frame_at < infos.len() && (events_done < target || frame_at == start) {
+            let info = &infos[frame_at];
+            events += info.events as u64;
+            events_done += info.events as u64;
+            match info.index {
+                Some(idx) => {
+                    payload = payload.map(|p| p + idx.payload_bytes);
+                    if idx.event_count > 0 {
+                        seed_max_stamp =
+                            Some(seed_max_stamp.map_or(idx.max_stamp, |m| m.max(idx.max_stamp)));
+                    }
+                    seed_bitmap = seed_bitmap.map(|b| b | idx.core_bitmap);
+                }
+                None => {
+                    payload = None;
+                    seed_known = false;
+                }
+            }
+            frame_at += 1;
+        }
+        if !seed_known {
+            seed_payload = None;
+            seed_max_stamp = None;
+            seed_bitmap = None;
+        } else {
+            seed_payload = seed_payload.and_then(|p| payload.map(|q| p + q));
+        }
+        let byte_start = infos[start].offset;
+        let byte_end = infos[frame_at - 1].offset + infos[frame_at - 1].len;
+        fragments.push(FragmentContext {
+            index: part,
+            frames: start..frame_at,
+            bytes: byte_start..byte_end,
+            events,
+            payload_bytes: payload,
+            seed,
+        });
+    }
+    // Re-number in case trailing parts came up empty.
+    for (i, frag) in fragments.iter_mut().enumerate() {
+        frag.index = i;
+    }
+    // The last fragment must absorb any remainder (only possible when the
+    // loop's target arithmetic exhausted parts early on heavily skewed
+    // frames).
+    if let Some(last) = fragments.last_mut() {
+        if last.frames.end < infos.len() {
+            for info in &infos[last.frames.end..] {
+                last.events += info.events as u64;
+                match info.index {
+                    Some(idx) => {
+                        last.payload_bytes = last.payload_bytes.map(|p| p + idx.payload_bytes);
+                    }
+                    None => last.payload_bytes = None,
+                }
+            }
+            let tail = infos.last().expect("non-empty");
+            last.frames.end = infos.len();
+            last.bytes.end = tail.offset + tail.len;
+        }
+    }
+    fragments
+}
+
+/// Encodes events into a concatenated BTSF stream of `events_per_frame`
+/// frames (seq starting at 0) — the bridge from `.btd` dumps and in-memory
+/// drains into the fragment pipeline.
+pub fn encode_stream(events: &[FullEvent], events_per_frame: usize) -> Vec<u8> {
+    let per = events_per_frame.max(1);
+    let mut out = Vec::new();
+    for (seq, chunk) in events.chunks(per).enumerate() {
+        out.extend_from_slice(&encode_frame(seq as u64, chunk));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(stamp: u64, core: u16, payload: usize) -> FullEvent {
+        FullEvent { stamp, core, tid: 100 + core as u32, payload: vec![0x5A; payload] }
+    }
+
+    fn stream_of(frames: &[Vec<FullEvent>]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (seq, events) in frames.iter().enumerate() {
+            out.extend_from_slice(&encode_frame(seq as u64, events));
+        }
+        out
+    }
+
+    #[test]
+    fn scan_reads_headers_and_footers_without_decoding() {
+        let frames = vec![
+            (0..5).map(|i| ev(i, (i % 2) as u16, 10 + i as usize)).collect::<Vec<_>>(),
+            vec![],
+            (5..12).map(|i| ev(i, 3, 8)).collect(),
+        ];
+        let bytes = stream_of(&frames);
+        let infos = scan_frames(&bytes).unwrap();
+        assert_eq!(infos.len(), 3);
+        assert_eq!(infos[0].seq, 0);
+        assert_eq!(infos[0].events, 5);
+        let idx = infos[0].index.expect("footer present");
+        assert_eq!(idx.min_stamp, 0);
+        assert_eq!(idx.max_stamp, 4);
+        assert_eq!(idx.core_bitmap, 0b11);
+        assert_eq!(idx.payload_bytes, (10..15).sum::<usize>() as u64);
+        let empty = infos[1].index.expect("footer present");
+        assert_eq!(empty.event_count, 0);
+        assert_eq!(empty.min_stamp, u64::MAX);
+        assert_eq!(infos[2].index.unwrap().core_bitmap, 0b1000);
+        // Byte ranges tile the stream exactly.
+        assert_eq!(infos[0].offset, 0);
+        assert_eq!(infos[2].offset + infos[2].len, bytes.len());
+    }
+
+    #[test]
+    fn scan_accepts_legacy_footerless_frames() {
+        // Hand-build a footer-less frame exactly as the old encoder did.
+        let events = [ev(7, 1, 16), ev(8, 1, 16)];
+        let mut body = Vec::new();
+        body.extend_from_slice(&3u64.to_le_bytes());
+        body.extend_from_slice(&(events.len() as u32).to_le_bytes());
+        for e in &events {
+            body.extend_from_slice(&e.stamp.to_le_bytes());
+            body.extend_from_slice(&e.core.to_le_bytes());
+            body.extend_from_slice(&e.tid.to_le_bytes());
+            body.extend_from_slice(&(e.payload.len() as u32).to_le_bytes());
+            body.extend_from_slice(&e.payload);
+        }
+        let mut frame = Vec::new();
+        frame.extend_from_slice(b"BTSF");
+        frame.extend_from_slice(&((body.len() + 8) as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        let crc = frame
+            .iter()
+            .fold(0xcbf2_9ce4_8422_2325u64, |c, &b| (c ^ b as u64).wrapping_mul(0x100_0000_01b3));
+        frame.extend_from_slice(&crc.to_le_bytes());
+
+        let infos = scan_frames(&frame).unwrap();
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].seq, 3);
+        assert_eq!(infos[0].events, 2);
+        assert!(infos[0].index.is_none(), "legacy frame has no footer");
+        // And the legacy frame still fully decodes.
+        let decoded = decode_frames(&frame).unwrap();
+        assert_eq!(decoded[0].events, events);
+    }
+
+    #[test]
+    fn split_balances_events_and_seeds_prefixes() {
+        // 12 frames × 20 events: 4 parts of exactly 3 frames each.
+        let frames: Vec<Vec<FullEvent>> = (0..12)
+            .map(|f| (f * 20..f * 20 + 20).map(|s| ev(s, (s % 4) as u16, 12)).collect())
+            .collect();
+        let bytes = stream_of(&frames);
+        let infos = scan_frames(&bytes).unwrap();
+        let frags = split_fragments(&infos, 4);
+        assert_eq!(frags.len(), 4);
+        assert_eq!(frags.iter().map(|f| f.events).sum::<u64>(), 240);
+        for f in &frags {
+            assert_eq!(f.events, 60, "even frames split evenly");
+        }
+        assert_eq!(frags[0].seed.events_before, 0);
+        assert_eq!(frags[2].seed.events_before, 120);
+        assert_eq!(frags[2].seed.frames_before, 6);
+        assert_eq!(frags[2].seed.max_stamp_before, Some(119));
+        assert_eq!(frags[2].seed.core_bitmap_before, Some(0b1111));
+        assert_eq!(frags[2].seed.payload_bytes_before, Some(120 * 12));
+        // Fragments tile the stream contiguously.
+        assert_eq!(frags[0].bytes.start, 0);
+        for w in frags.windows(2) {
+            assert_eq!(w[0].bytes.end, w[1].bytes.start);
+            assert_eq!(w[0].frames.end, w[1].frames.start);
+        }
+        assert_eq!(frags[3].bytes.end, bytes.len());
+        // Each fragment decodes independently.
+        let decoded = frags[1].decode(&bytes).unwrap();
+        assert_eq!(decoded.iter().map(|f| f.events.len()).sum::<usize>(), 60);
+        assert_eq!(decoded[0].events[0].stamp, 60);
+    }
+
+    #[test]
+    fn split_handles_fewer_frames_than_parts() {
+        let frames = vec![(0..7).map(|s| ev(s, 0, 8)).collect::<Vec<_>>()];
+        let bytes = stream_of(&frames);
+        let infos = scan_frames(&bytes).unwrap();
+        let frags = split_fragments(&infos, 8);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].events, 7);
+        assert!(split_fragments(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn split_balances_uneven_frames_within_one_frame() {
+        // Frame sizes 1, 1, 50, 1, 1, 50, 1, 1 — boundaries may only land
+        // on frame edges, so each fragment's share must stay within one
+        // frame of ideal.
+        let sizes = [1usize, 1, 50, 1, 1, 50, 1, 1];
+        let mut stamp = 0u64;
+        let frames: Vec<Vec<FullEvent>> = sizes
+            .iter()
+            .map(|&n| {
+                (0..n)
+                    .map(|_| {
+                        stamp += 1;
+                        ev(stamp, 0, 8)
+                    })
+                    .collect()
+            })
+            .collect();
+        let bytes = stream_of(&frames);
+        let infos = scan_frames(&bytes).unwrap();
+        let frags = split_fragments(&infos, 2);
+        assert!(frags.len() <= 2);
+        assert_eq!(frags.iter().map(|f| f.events).sum::<u64>(), 106);
+        let max_frame = 50u64;
+        let ideal = 106u64 / 2;
+        for f in &frags {
+            assert!(
+                f.events <= ideal + max_frame,
+                "fragment of {} events exceeds ideal {ideal} by more than one frame",
+                f.events
+            );
+        }
+    }
+
+    #[test]
+    fn encode_stream_round_trips_through_fragments() {
+        let events: Vec<FullEvent> = (0..123).map(|s| ev(s, (s % 3) as u16, 9)).collect();
+        let bytes = encode_stream(&events, 25);
+        let infos = scan_frames(&bytes).unwrap();
+        assert_eq!(infos.len(), 5);
+        let frags = split_fragments(&infos, 3);
+        let mut round: Vec<FullEvent> = Vec::new();
+        for f in &frags {
+            for frame in f.decode(&bytes).unwrap() {
+                round.extend(frame.events);
+            }
+        }
+        assert_eq!(round, events);
+    }
+}

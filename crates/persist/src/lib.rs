@@ -44,11 +44,18 @@
 mod collector;
 mod dump;
 mod export;
+mod fragment;
+mod parallel;
 mod stream;
 
 pub use collector::{Collector, CollectorConfig};
 pub use dump::{DumpError, TraceDump};
 pub use export::{read_jsonl, JsonlExporter, PrometheusExporter, RetryPolicy};
+pub use fragment::{
+    encode_stream, scan_frames, split_fragments, FragmentContext, FragmentSeed, FrameIndex,
+    FrameInfo,
+};
+pub use parallel::{analyze_file, analyze_frames, AnalyzeOptions, FragmentWork, ParallelAnalysis};
 pub use stream::{
     decode_frames, encode_frame, read_frames, Backpressure, FileFrameSink, FrameSink,
     NullFrameSink, PipelineConfig, PipelineStats, StreamFrame, StreamPipeline,

@@ -1,0 +1,338 @@
+//! Fragment-parallel analysis of BTSF streams: scan → split → map
+//! (decode + analyze per fragment, on a scoped worker pool) → ordered
+//! merge → finish, with the boundary hand-off check and per-fragment work
+//! counters.
+//!
+//! The sequential path **is** the parallel path with `threads = 1` — same
+//! fragments, same map, same ordered merge — so the two are bit-identical
+//! by construction, and the differential suite additionally pins the whole
+//! pipeline against the single-fragment and legacy sequential analyses.
+
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use btrace_analysis::{
+    fold_merge, map_reduce, GapMapOptions, GapMapPartial, TraceAnalysis, TracePartial,
+};
+use btrace_core::event::encoded_len;
+use btrace_core::sink::CollectedEvent;
+use btrace_replay::{check_handoff, BoundaryDefect, BoundaryExpectation, TraceState};
+
+use crate::fragment::{scan_frames, split_fragments, FragmentContext};
+
+/// Tuning for [`analyze_frames`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyzeOptions {
+    /// Worker threads (1 = sequential on the calling thread).
+    pub threads: usize,
+    /// Fragments to split into; 0 means one per thread.
+    pub fragments: usize,
+    /// Tracer buffer capacity for the effectivity ratio (0 if unknown).
+    pub capacity_bytes: usize,
+    /// Busiest-thread table size.
+    pub top_threads: usize,
+    /// Render a retention gap map over this window, if set.
+    pub gap_map: Option<GapMapOptions>,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        Self { threads: 1, fragments: 0, capacity_bytes: 0, top_threads: 8, gap_map: None }
+    }
+}
+
+/// Work counters for one fragment — the partition-balance evidence a 1-CPU
+/// host reports in place of wall-clock speedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct FragmentWork {
+    /// Fragment position.
+    pub fragment: usize,
+    /// Frames decoded.
+    pub frames: usize,
+    /// Events decoded.
+    pub events: u64,
+    /// Stream bytes consumed.
+    pub bytes: u64,
+    /// Nanoseconds spent decoding + mapping this fragment.
+    pub busy_ns: u64,
+}
+
+/// The finished fragment-parallel readout of one stream.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ParallelAnalysis {
+    /// Retention metrics plus per-core / per-thread breakdowns
+    /// (stored-byte accounting, as a live drain would report).
+    pub analysis: TraceAnalysis,
+    /// Reconstructed trace state (raw payload-byte accounting, matching the
+    /// frame index footers).
+    pub state: TraceState,
+    /// Per-fragment states, in fragment order.
+    pub per_fragment_state: Vec<TraceState>,
+    /// Boundary hand-off defects: where the frame index's promises disagree
+    /// with what the fragments actually decoded. Empty for a healthy trace.
+    pub defects: Vec<BoundaryDefect>,
+    /// Retention gap map, when requested.
+    pub gap_map: Option<String>,
+    /// Per-fragment work counters.
+    pub work: Vec<FragmentWork>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Frames scanned.
+    pub frames: usize,
+    /// Frames without an index footer (legacy).
+    pub legacy_frames: usize,
+    /// Largest stamp seen, if any event decoded.
+    pub newest_stamp: Option<u64>,
+}
+
+/// One fragment's mapped partials plus its work counter.
+struct FragmentPartial {
+    trace: TracePartial,
+    state: TraceState,
+    gap: Option<GapMapPartial>,
+    work: FragmentWork,
+}
+
+/// Analyzes a BTSF stream fragment-parallel. See the module docs for the
+/// pipeline shape; `opts.threads = 1` is the sequential reference.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on structural corruption (bad magic,
+/// truncation, checksum mismatch in any fragment).
+pub fn analyze_frames(bytes: &[u8], opts: &AnalyzeOptions) -> io::Result<ParallelAnalysis> {
+    let infos = scan_frames(bytes)?;
+    let legacy_frames = infos.iter().filter(|f| f.index.is_none()).count();
+    let threads = opts.threads.max(1);
+    let parts = if opts.fragments == 0 { threads } else { opts.fragments };
+    let fragments = split_fragments(&infos, parts);
+
+    // The gap map window must be anchored before the map phase; the frame
+    // index supplies the newest stamp in O(frames) when every frame carries
+    // a footer. Without full indexing the map is rendered after the merge
+    // from the (identical) merged stamp set.
+    let indexed_newest: Option<u64> = if legacy_frames == 0 {
+        infos.iter().filter(|f| f.events > 0).filter_map(|f| f.index).map(|i| i.max_stamp).max()
+    } else {
+        None
+    };
+    let parallel_gap = opts.gap_map.zip(indexed_newest);
+
+    let mapped: Vec<io::Result<FragmentPartial>> =
+        map_reduce(&fragments, threads, |_, frag| map_fragment(frag, bytes, parallel_gap));
+    let mut partials = Vec::with_capacity(mapped.len());
+    for m in mapped {
+        partials.push(m?);
+    }
+
+    let expectations: Vec<BoundaryExpectation> = fragments
+        .iter()
+        .map(|f| BoundaryExpectation {
+            fragment: f.index,
+            events_before: f.seed.events_before,
+            bytes_before: f.seed.payload_bytes_before,
+            max_stamp_before: f.seed.max_stamp_before,
+            core_bitmap_before: f.seed.core_bitmap_before,
+        })
+        .collect();
+
+    let mut work = Vec::with_capacity(partials.len());
+    let mut per_fragment_state = Vec::with_capacity(partials.len());
+    let mut trace_parts = Vec::with_capacity(partials.len());
+    let mut gap_parts = Vec::with_capacity(partials.len());
+    for p in partials {
+        work.push(p.work);
+        per_fragment_state.push(p.state);
+        trace_parts.push(p.trace);
+        if let Some(g) = p.gap {
+            gap_parts.push(g);
+        }
+    }
+    let defects = check_handoff(&per_fragment_state, &expectations);
+    let state =
+        fold_merge(per_fragment_state.clone(), TraceState::merge).unwrap_or_else(TraceState::empty);
+    let merged = fold_merge(trace_parts, TracePartial::merge).unwrap_or_default();
+    let newest_stamp = merged.metrics.newest();
+    let gap_map = match (opts.gap_map, gap_parts.is_empty()) {
+        (Some(_), false) => fold_merge(gap_parts, GapMapPartial::merge).map(|g| g.render()),
+        (Some(gopts), true) => newest_stamp.map(|newest| {
+            let stamps: Vec<u64> = merged.metrics.stamps().collect();
+            btrace_analysis::gap_map(&stamps, newest, gopts)
+        }),
+        (None, _) => None,
+    };
+    let analysis = merged.finish(opts.capacity_bytes, opts.top_threads);
+    Ok(ParallelAnalysis {
+        analysis,
+        state,
+        per_fragment_state,
+        defects,
+        gap_map,
+        work,
+        threads,
+        frames: infos.len(),
+        legacy_frames,
+        newest_stamp,
+    })
+}
+
+/// Reads and analyzes a BTSF frame file.
+///
+/// # Errors
+///
+/// I/O errors reading the file, plus everything [`analyze_frames`] reports.
+pub fn analyze_file(path: impl AsRef<Path>, opts: &AnalyzeOptions) -> io::Result<ParallelAnalysis> {
+    let bytes = std::fs::read(path)?;
+    analyze_frames(&bytes, opts)
+}
+
+fn map_fragment(
+    frag: &FragmentContext,
+    stream: &[u8],
+    gap: Option<(GapMapOptions, u64)>,
+) -> io::Result<FragmentPartial> {
+    let t0 = Instant::now();
+    let frames = frag.decode(stream)?;
+    let mut events: Vec<CollectedEvent> = Vec::with_capacity(frag.events as usize);
+    let mut state = TraceState::empty();
+    for frame in &frames {
+        for e in &frame.events {
+            events.push(CollectedEvent {
+                stamp: e.stamp,
+                core: e.core,
+                tid: e.tid,
+                stored_bytes: encoded_len(e.payload.len()) as u32,
+            });
+            state.record(e.core, e.tid, e.stamp, e.payload.len() as u64);
+        }
+    }
+    let trace = TracePartial::map(&events);
+    let gap = gap.map(|(gopts, newest)| GapMapPartial::map(trace.metrics.stamps(), newest, gopts));
+    Ok(FragmentPartial {
+        work: FragmentWork {
+            fragment: frag.index,
+            frames: frames.len(),
+            events: events.len() as u64,
+            bytes: (frag.bytes.end - frag.bytes.start) as u64,
+            busy_ns: t0.elapsed().as_nanos() as u64,
+        },
+        trace,
+        state,
+        gap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::encode_stream;
+    use btrace_core::sink::FullEvent;
+
+    fn events(n: u64) -> Vec<FullEvent> {
+        (0..n)
+            .filter(|s| s % 97 != 13) // sprinkle gaps
+            .map(|s| FullEvent {
+                stamp: s,
+                core: (s % 6) as u16,
+                tid: 200 + (s % 9) as u32,
+                payload: vec![0xC3; 8 + (s % 40) as usize],
+            })
+            .collect()
+    }
+
+    fn collected(evs: &[FullEvent]) -> Vec<CollectedEvent> {
+        evs.iter()
+            .map(|e| CollectedEvent {
+                stamp: e.stamp,
+                core: e.core,
+                tid: e.tid,
+                stored_bytes: encoded_len(e.payload.len()) as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_legacy() {
+        let evs = events(3000);
+        let stream = encode_stream(&evs, 128);
+        let gap = GapMapOptions { window: 2000, width: 40 };
+        let base =
+            AnalyzeOptions { capacity_bytes: 1 << 18, gap_map: Some(gap), ..Default::default() };
+        let seq = analyze_frames(&stream, &AnalyzeOptions { threads: 1, ..base }).unwrap();
+        assert!(seq.defects.is_empty(), "healthy stream: {:?}", seq.defects);
+        for threads in [2, 4, 8] {
+            let par =
+                analyze_frames(&stream, &AnalyzeOptions { threads, fragments: 7, ..base }).unwrap();
+            assert_eq!(par.analysis, seq.analysis);
+            assert_eq!(par.state, seq.state);
+            assert_eq!(par.gap_map, seq.gap_map);
+            assert!(par.defects.is_empty());
+            assert_eq!(par.work.iter().map(|w| w.events).sum::<u64>(), evs.len() as u64);
+        }
+        // And against the legacy single-pass analysis.
+        let c = collected(&evs);
+        assert_eq!(seq.analysis.metrics, btrace_analysis::analyze(&c, 1 << 18));
+        assert_eq!(seq.analysis.per_core, btrace_analysis::by_core(&c));
+        assert_eq!(seq.analysis.per_thread, btrace_analysis::by_thread(&c, 8));
+        let stamps: Vec<u64> = c.iter().map(|e| e.stamp).collect();
+        let newest = seq.newest_stamp.unwrap();
+        assert_eq!(seq.gap_map.as_deref().unwrap(), btrace_analysis::gap_map(&stamps, newest, gap));
+    }
+
+    #[test]
+    fn corrupted_index_is_a_defect_not_a_panic() {
+        let evs = events(600);
+        let mut stream = encode_stream(&evs, 50);
+        // Lie in frame 2's footer max_stamp, then re-seal the crc so only
+        // the index (not the payload) is corrupt.
+        let infos = scan_frames(&stream).unwrap();
+        let f = infos[2];
+        let footer_off = f.offset + f.len - 8 - crate::stream::FOOTER_BYTES;
+        let max_off = footer_off + 4 + 8;
+        stream[max_off..max_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let crc_region = &stream[f.offset..f.offset + f.len - 8];
+        let crc = crc_region
+            .iter()
+            .fold(0xcbf2_9ce4_8422_2325u64, |c, &b| (c ^ b as u64).wrapping_mul(0x100_0000_01b3));
+        let crc_off = f.offset + f.len - 8;
+        stream[crc_off..crc_off + 8].copy_from_slice(&crc.to_le_bytes());
+
+        let out = analyze_frames(
+            &stream,
+            &AnalyzeOptions { threads: 2, fragments: 6, ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            out.defects.iter().any(|d| d.field == "max_stamp_before"),
+            "lying index must surface as a hand-off defect: {:?}",
+            out.defects
+        );
+    }
+
+    #[test]
+    fn work_counters_balance_on_uniform_streams() {
+        let evs = events(4000);
+        let stream = encode_stream(&evs, 64);
+        let out =
+            analyze_frames(&stream, &AnalyzeOptions { threads: 4, ..Default::default() }).unwrap();
+        assert_eq!(out.work.len(), 4);
+        let max = out.work.iter().map(|w| w.events).max().unwrap();
+        let min = out.work.iter().map(|w| w.events).min().unwrap();
+        assert!(
+            (max - min) as f64 <= 0.2 * max as f64,
+            "uniform stream must split within 20%: max {max} min {min}"
+        );
+    }
+
+    #[test]
+    fn empty_stream_analyzes_to_empty() {
+        let out = analyze_frames(&[], &AnalyzeOptions::default()).unwrap();
+        assert_eq!(out.frames, 0);
+        assert!(out.state.is_empty());
+        assert_eq!(out.analysis.metrics, btrace_analysis::Metrics::empty());
+        assert!(out.defects.is_empty());
+    }
+}

@@ -160,7 +160,12 @@ impl FrameSink for NullFrameSink {
     }
 }
 
-const FRAME_MAGIC: &[u8; 4] = b"BTSF";
+pub(crate) const FRAME_MAGIC: &[u8; 4] = b"BTSF";
+/// Magic opening the per-frame index footer (see [`encode_frame`]).
+pub(crate) const FOOTER_MAGIC: &[u8; 4] = b"FIDX";
+/// Encoded size of the index footer: magic + min/max stamp + core bitmap +
+/// event count + payload byte span.
+pub(crate) const FOOTER_BYTES: usize = 4 + 8 + 8 + 8 + 4 + 8;
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x100_0000_01b3;
 
@@ -177,20 +182,52 @@ fn fnv(bytes: &[u8]) -> u64 {
 /// count          u32
 /// events         count × { stamp u64, core u16, tid u32,
 ///                          payload_len u32, payload bytes }
-/// crc            u64 (FNV-1a over magic..events)
+/// footer         index footer (see below)
+/// crc            u64 (FNV-1a over magic..footer)
 /// ```
+///
+/// The **index footer** summarizes the frame for O(frames) fragment
+/// splitting without decoding the events:
+///
+/// ```text
+/// magic "FIDX"   4 bytes
+/// min_stamp      u64 (u64::MAX for an empty frame)
+/// max_stamp      u64 (0 for an empty frame)
+/// core_bitmap    u64 (bit min(core, 63) set per producing core)
+/// event_count    u32 (mirrors the header count)
+/// payload_bytes  u64 (sum of raw payload lengths)
+/// ```
+///
+/// The footer sits at a fixed offset from the frame end, inside the
+/// crc-covered region. Frames written before the footer existed simply end
+/// their body at the last event; [`decode_frames`] accepts both.
 pub fn encode_frame(seq: u64, events: &[FullEvent]) -> Vec<u8> {
-    let mut body =
-        Vec::with_capacity(64 + events.iter().map(|e| 18 + e.payload.len()).sum::<usize>());
+    let mut body = Vec::with_capacity(
+        64 + FOOTER_BYTES + events.iter().map(|e| 18 + e.payload.len()).sum::<usize>(),
+    );
     body.extend_from_slice(&seq.to_le_bytes());
     body.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    let mut min_stamp = u64::MAX;
+    let mut max_stamp = 0u64;
+    let mut core_bitmap = 0u64;
+    let mut payload_bytes = 0u64;
     for e in events {
         body.extend_from_slice(&e.stamp.to_le_bytes());
         body.extend_from_slice(&e.core.to_le_bytes());
         body.extend_from_slice(&e.tid.to_le_bytes());
         body.extend_from_slice(&(e.payload.len() as u32).to_le_bytes());
         body.extend_from_slice(&e.payload);
+        min_stamp = min_stamp.min(e.stamp);
+        max_stamp = max_stamp.max(e.stamp);
+        core_bitmap |= 1u64 << (e.core as u64).min(63);
+        payload_bytes += e.payload.len() as u64;
     }
+    body.extend_from_slice(FOOTER_MAGIC);
+    body.extend_from_slice(&min_stamp.to_le_bytes());
+    body.extend_from_slice(&max_stamp.to_le_bytes());
+    body.extend_from_slice(&core_bitmap.to_le_bytes());
+    body.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    body.extend_from_slice(&payload_bytes.to_le_bytes());
     let mut frame = Vec::with_capacity(body.len() + 16);
     frame.extend_from_slice(FRAME_MAGIC);
     frame.extend_from_slice(&((body.len() + 8) as u32).to_le_bytes());
@@ -253,8 +290,17 @@ pub fn decode_frames(mut bytes: &[u8]) -> io::Result<Vec<StreamFrame>> {
             let payload = take(payload_len)?.to_vec();
             events.push(FullEvent { stamp, core, tid, payload });
         }
+        // Footer-bearing frames leave exactly one index footer after the
+        // events; footer-less frames (written before the footer existed)
+        // leave nothing. Anything else is corruption.
         if !r.is_empty() {
-            return Err(bad("frame body overrun"));
+            if r.len() != FOOTER_BYTES || &r[..4] != FOOTER_MAGIC {
+                return Err(bad("frame body overrun"));
+            }
+            let footer_count = u32::from_le_bytes(r[28..32].try_into().expect("4 bytes"));
+            if footer_count != count {
+                return Err(bad("frame footer count mismatch"));
+            }
         }
         frames.push(StreamFrame { seq, events });
         bytes = rest;

@@ -17,7 +17,8 @@
 
 use crate::model::Scenario;
 use crate::report::ReplayReport;
-use btrace_core::sink::{Begin, RecordOutcome, SinkGrant, TraceSink};
+use crate::state::{check_handoff, BoundaryDefect, BoundaryExpectation, TraceState};
+use btrace_core::sink::{Begin, CollectedEvent, RecordOutcome, SinkGrant, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -362,6 +363,74 @@ fn sample_payload(rng: &mut StdRng, mean: u32) -> usize {
     let lo = (mean / 2).max(1);
     let hi = mean + mean / 2;
     rng.gen_range(lo..hi.max(lo + 1)) as usize
+}
+
+// ---------------------------------------------------------------------------
+// Fragment-parallel state reconstruction
+// ---------------------------------------------------------------------------
+
+/// Result of [`reconstruct_fragments`]: per-fragment states, their ordered
+/// merge, and any boundary hand-off defects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StateReconstruction {
+    /// One reconstructed state per fragment, in fragment order.
+    pub per_fragment: Vec<TraceState>,
+    /// The ordered merge of all fragment states — bit-identical to a
+    /// sequential walk of the whole trace.
+    pub merged: TraceState,
+    /// Boundary hand-off disagreements (fragment `i`'s exit state vs
+    /// fragment `i+1`'s seeded entry state). Empty for a healthy trace.
+    pub defects: Vec<BoundaryDefect>,
+}
+
+/// Reconstructs trace state fragment-parallel on up to `threads` scoped
+/// workers, then runs the boundary hand-off check.
+///
+/// `expectations` are the index-derived entry seeds (one per fragment); pass
+/// `None` to derive them from the fragments themselves via
+/// [`derive_expectations`], which exercises the hand-off machinery as a
+/// self-check when no external index exists.
+pub fn reconstruct_fragments<F>(
+    fragments: &[F],
+    threads: usize,
+    expectations: Option<&[BoundaryExpectation]>,
+) -> StateReconstruction
+where
+    F: AsRef<[CollectedEvent]> + Sync,
+{
+    let per_fragment =
+        btrace_analysis::map_reduce(fragments, threads, |_, f| TraceState::map(f.as_ref()));
+    let derived;
+    let expectations = match expectations {
+        Some(e) => e,
+        None => {
+            derived = derive_expectations(&per_fragment);
+            &derived
+        }
+    };
+    let defects = check_handoff(&per_fragment, expectations);
+    let merged = btrace_analysis::fold_merge(per_fragment.clone(), TraceState::merge)
+        .unwrap_or_else(TraceState::empty);
+    StateReconstruction { per_fragment, merged, defects }
+}
+
+/// Builds per-fragment entry expectations by prefix-merging the states in
+/// fragment order — what a trustworthy frame index would have promised.
+pub fn derive_expectations(states: &[TraceState]) -> Vec<BoundaryExpectation> {
+    let mut out = Vec::with_capacity(states.len());
+    let mut prefix = TraceState::empty();
+    for (i, state) in states.iter().enumerate() {
+        out.push(BoundaryExpectation {
+            fragment: i,
+            events_before: prefix.events,
+            bytes_before: Some(prefix.bytes),
+            max_stamp_before: (!prefix.is_empty()).then_some(prefix.last_stamp),
+            core_bitmap_before: Some(prefix.core_bitmap),
+        });
+        prefix = prefix.merge(state.clone());
+    }
+    out
 }
 
 #[cfg(test)]

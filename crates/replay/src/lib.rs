@@ -41,7 +41,12 @@
 mod engine;
 pub mod model;
 mod report;
+mod state;
 
-pub use engine::{ReplayConfig, ReplayMode, Replayer};
+pub use engine::{
+    derive_expectations, reconstruct_fragments, ReplayConfig, ReplayMode, Replayer,
+    StateReconstruction,
+};
 pub use model::{scenarios, Category, Scenario, TraceLevel};
-pub use report::ReplayReport;
+pub use report::{ParallelReportAnalysis, ReplayReport};
+pub use state::{check_handoff, BoundaryDefect, BoundaryExpectation, CoreCursor, TraceState};

@@ -1,5 +1,9 @@
 //! Replay results handed to the analysis crate.
 
+use crate::engine::{reconstruct_fragments, StateReconstruction};
+use btrace_analysis::{
+    fold_merge, map_reduce, LatencyPartial, LatencyStats, TraceAnalysis, TracePartial,
+};
 use btrace_core::sink::CollectedEvent;
 use std::time::Duration;
 
@@ -49,6 +53,46 @@ impl ReplayReport {
             self.retained.len() as f64 / self.written as f64
         }
     }
+
+    /// Runs the full readout fragment-parallel: the retained events are cut
+    /// into `events_per_fragment`-sized fragments, mapped to analysis and
+    /// state partials on up to `threads` scoped workers, and merged in
+    /// fragment order — bit-identical to the sequential readout for any
+    /// `threads` and any fragment size (see `btrace_analysis::parallel`).
+    pub fn parallel_analysis(
+        &self,
+        threads: usize,
+        events_per_fragment: usize,
+        top_threads: usize,
+    ) -> ParallelReportAnalysis {
+        let chunk = events_per_fragment.max(1);
+        let fragments: Vec<&[CollectedEvent]> = self.retained.chunks(chunk).collect();
+        let parts = map_reduce(&fragments, threads, |_, frag| TracePartial::map(frag));
+        let analysis = fold_merge(parts, TracePartial::merge)
+            .unwrap_or_default()
+            .finish(self.capacity_bytes, top_threads);
+        let latency_chunks: Vec<&[u64]> = self.latencies_ns.chunks(chunk).collect();
+        let latency_parts = map_reduce(&latency_chunks, threads, |_, c| LatencyPartial::map(c));
+        let latency = fold_merge(latency_parts, LatencyPartial::merge).unwrap_or_default().finish();
+        let state = reconstruct_fragments(&fragments, threads, None);
+        ParallelReportAnalysis { analysis, latency, state, fragments: fragments.len(), threads }
+    }
+}
+
+/// The fragment-parallel readout of one replay ([`ReplayReport::parallel_analysis`]).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ParallelReportAnalysis {
+    /// Retention metrics plus per-core / per-thread breakdowns.
+    pub analysis: TraceAnalysis,
+    /// Latency summary over the sampled per-record latencies.
+    pub latency: LatencyStats,
+    /// Reconstructed trace state with boundary hand-off results.
+    pub state: StateReconstruction,
+    /// Number of fragments the readout was cut into.
+    pub fragments: usize,
+    /// Worker threads requested.
+    pub threads: usize,
 }
 
 #[cfg(test)]
@@ -73,5 +117,40 @@ mod tests {
         };
         assert_eq!(r.retained_stamps(), vec![1, 3]);
         assert!((r.retention() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_analysis_matches_sequential_readout() {
+        let ev = |stamp: u64| CollectedEvent {
+            stamp,
+            core: (stamp % 4) as u16,
+            tid: 100 + (stamp % 6) as u32,
+            stored_bytes: 24 + (stamp % 5) as u32,
+        };
+        let retained: Vec<CollectedEvent> = (0..500).chain(650..900).map(ev).collect();
+        let r = ReplayReport {
+            tracer: "x",
+            scenario: "y",
+            written: 900,
+            written_per_core: vec![225; 4],
+            written_bytes: 24_000,
+            dropped_at_record: 0,
+            retained: retained.clone(),
+            latencies_ns: (0..97).map(|i| (i * 131) % 4096).collect(),
+            tids_per_core: vec![6; 4],
+            capacity_bytes: 1 << 16,
+            wall: Duration::ZERO,
+        };
+        let sequential = r.parallel_analysis(1, 64, 8);
+        for threads in [2, 4] {
+            let parallel = r.parallel_analysis(threads, 64, 8);
+            assert_eq!(parallel.analysis, sequential.analysis);
+            assert_eq!(parallel.latency, sequential.latency);
+            assert_eq!(parallel.state.merged, sequential.state.merged);
+            assert!(parallel.state.defects.is_empty());
+        }
+        assert_eq!(sequential.analysis.metrics, btrace_analysis::analyze(&retained, 1 << 16));
+        assert_eq!(sequential.analysis.per_core, btrace_analysis::by_core(&retained));
+        assert_eq!(sequential.state.merged, crate::state::TraceState::map(&retained));
     }
 }

@@ -11,6 +11,7 @@
 //! cargo run --release --example silent_defect_hunt
 //! ```
 
+use btrace::analysis::{fold_merge, map_reduce, TracePartial};
 use btrace::baselines::PerCoreOverwrite;
 use btrace::core::sink::TraceSink;
 use btrace::core::{BTrace, Config};
@@ -64,7 +65,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, retained) in [("BTrace", btrace.drain()), ("ftrace (per-core)", ftrace.drain())] {
         let found: Vec<u64> =
             retained.iter().map(|e| e.stamp).filter(|s| clue_stamps.contains(s)).collect();
-        let metrics = btrace::analysis::analyze(&retained, TOTAL);
+        // The hunt itself is fragment-parallel: the retained trace is cut
+        // into four fragments, each mapped to a partial on its own worker,
+        // and the ordered merge yields exactly the sequential metrics.
+        let fragments: Vec<&[btrace::core::sink::CollectedEvent]> =
+            retained.chunks(retained.len().div_ceil(4).max(1)).collect();
+        let partials = map_reduce(&fragments, 4, |_, chunk| TracePartial::map(chunk));
+        let merged = fold_merge(partials, TracePartial::merge).unwrap_or_default();
+        let analysis = merged.finish(TOTAL, 8);
+        assert_eq!(
+            analysis,
+            TracePartial::map(&retained).finish(TOTAL, 8),
+            "fragment-parallel hunt must be bit-identical to the sequential one"
+        );
+        let metrics = analysis.metrics;
         println!(
             "{name:<20} retained {:>6} events, latest fragment {:>4} KiB, {}/{} clue events found {}",
             retained.len(),

@@ -254,7 +254,7 @@ fn run_differential_sharded(seed: u64, shards: usize) {
         let payload = payload_for(stamp, len);
         producers[core].record_with(stamp, core as u32, &payload).unwrap();
 
-        if splitmix(&mut rng) % 97 == 0 {
+        if splitmix(&mut rng).is_multiple_of(97) {
             // A pending coalesced run pins its block exactly like an open
             // grant, and a resize waits for unconfirmed producers to
             // drain — on this single thread it would wait forever. Flush
