@@ -193,6 +193,29 @@ fn cause(e: &RecordedEvent) -> Option<String> {
             degraded::describe(e.a),
             secs(e.t_ns)
         )),
+        // Controller actions: a resize, back-off, or budget clamp inside
+        // the lookback horizon is part of the loss story — either the
+        // adaptation that was still catching up, or the constraint that
+        // stopped it from adapting at all.
+        EventKind::CtrlResize => Some(format!(
+            "controller {} buffer {} -> {} bytes at {:.3}s",
+            if e.source == 2 { "shrank" } else { "grew" },
+            e.b,
+            e.a,
+            secs(e.t_ns)
+        )),
+        EventKind::CtrlBackoff => Some(format!(
+            "controller backed off resizing ({} tick cooldown after {} failure(s)) at {:.3}s",
+            e.a,
+            e.b,
+            secs(e.t_ns)
+        )),
+        EventKind::CtrlBudgetClamp => Some(format!(
+            "controller budget clamp: wanted {} bytes, held to {} at {:.3}s",
+            e.a,
+            e.b,
+            secs(e.t_ns)
+        )),
         _ => None,
     }
 }
@@ -535,6 +558,39 @@ mod tests {
         assert_eq!(windows.len(), 1);
         assert_eq!(windows[0].get("lost_items").and_then(|l| l.as_u64()), Some(388));
         assert!(!windows[0].get("causes").and_then(|c| c.as_arr()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn controller_actions_join_the_cause_chain() {
+        // A launch spike overwhelms an auto-sized buffer: the controller
+        // observes loss, grows twice, hits the budget, and the remaining
+        // loss window must name all three actions as part of its story.
+        let events = vec![
+            ev(1000, EventKind::CtrlObserve, 0, 42_000, 310),
+            ev(1001, EventKind::CtrlResize, 1, 2_097_152, 1_048_576),
+            ev(1400, EventKind::CtrlObserve, 0, 35_000, 940),
+            ev(1401, EventKind::CtrlBudgetClamp, 0, 4_194_304, 3_145_728),
+            ev(1402, EventKind::CtrlResize, 1, 3_145_728, 2_097_152),
+            ev(1600, EventKind::CtrlBackoff, 0, 8, 2),
+            ev(1700, EventKind::SkipStorm, 2, 64, 10_000_000),
+        ];
+        let d = diagnose(&events, None, None);
+        assert_eq!(d.loss_windows.len(), 1);
+        let chain = d.loss_windows[0].chain();
+        assert!(
+            chain.contains("controller grew buffer 1048576 -> 2097152 bytes"),
+            "chain: {chain}"
+        );
+        assert!(
+            chain.contains("controller budget clamp: wanted 4194304 bytes, held to 3145728"),
+            "chain: {chain}"
+        );
+        assert!(
+            chain.contains("controller backed off resizing (8 tick cooldown after 2 failure(s))"),
+            "chain: {chain}"
+        );
+        // Observations are heartbeat, not cause: they stay out.
+        assert!(!chain.contains("loss_ppm"), "chain: {chain}");
     }
 
     #[test]

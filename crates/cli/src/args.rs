@@ -44,7 +44,18 @@ COMMANDS:
         --drain-threads <K>        drain workers, one per sequence stripe
                                    (default: min(4, host CPUs); K above the
                                    host CPU count prints a warning)
+        --auto-size                adaptive buffer sizing (the controller)
+        --budget <BYTES>           hard memory budget for --auto-size
+                                   (default: the buffer's reserved maximum)
+        --target-loss <PPM>        loss-rate target in ppm for --auto-size
+                                   (default 10000 = 1% of blocks)
         --json                     emit final stats as one JSON line
+    tune                           dry-run the sizing controller on a
+                                   synthetic load, print its decisions
+        --duration-ms <N>          workload length (default 2000)
+        --budget <BYTES>           hard memory budget (default: reserved max)
+        --target-loss <PPM>        loss-rate target in ppm (default 10000)
+        --json                     emit the recommendation as one JSON line
     doctor                         seeded fault-storm run, then loss forensics
         --fault-seed <N>           commit-fault plan seed, 0 disables (default 183)
         --duration-ms <N>          workload length (default 1000)
@@ -138,7 +149,25 @@ pub enum Command {
         /// Drain worker threads (stripes of the block-sequence space).
         /// `None` lets the command pick `min(4, host CPUs)`.
         drain_threads: Option<usize>,
+        /// Run the adaptive-sizing controller alongside the stream.
+        auto_size: bool,
+        /// Hard memory budget in bytes for the controller (`None` uses
+        /// the buffer's reserved maximum).
+        budget: Option<u64>,
+        /// Controller loss-rate target in ppm.
+        target_loss_ppm: u64,
         /// Emit final stats as JSON instead of tables.
+        json: bool,
+    },
+    /// Dry-run the sizing controller against a synthetic load.
+    Tune {
+        /// Workload length in milliseconds.
+        duration_ms: u64,
+        /// Hard memory budget in bytes (`None` uses the reserved max).
+        budget: Option<u64>,
+        /// Loss-rate target in ppm.
+        target_loss_ppm: u64,
+        /// Emit the recommendation as one JSON line.
         json: bool,
     },
     /// Seeded fault-storm run followed by loss forensics.
@@ -269,7 +298,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "stream" => {
             let (flags, opts) = flags_and_options(
                 it.as_slice(),
-                &["--json"],
+                &["--json", "--auto-size"],
                 &[
                     "--duration-ms",
                     "--out",
@@ -277,6 +306,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--batch-events",
                     "--queue-depth",
                     "--drain-threads",
+                    "--budget",
+                    "--target-loss",
                 ],
             )?;
             let block = match opts.get("--policy").map(String::as_str) {
@@ -284,6 +315,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 Some("drop") => false,
                 Some(other) => return Err(format!("--policy must be block or drop, got {other}")),
             };
+            let auto_size = flags.contains(&"--auto-size".to_string());
+            if !auto_size && (opts.contains_key("--budget") || opts.contains_key("--target-loss")) {
+                return Err("--budget/--target-loss require --auto-size".into());
+            }
             Ok(Command::Stream {
                 duration_ms: parse_ms(opts.get("--duration-ms"), 2000)?,
                 out: opts.get("--out").cloned(),
@@ -294,6 +329,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     None => None,
                     some => Some(parse_count(some, 1)?),
                 },
+                auto_size,
+                budget: parse_bytes(opts.get("--budget"))?,
+                target_loss_ppm: parse_ppm(opts.get("--target-loss"))?,
+                json: flags.contains(&"--json".to_string()),
+            })
+        }
+        "tune" => {
+            let (flags, opts) = flags_and_options(
+                it.as_slice(),
+                &["--json"],
+                &["--duration-ms", "--budget", "--target-loss"],
+            )?;
+            Ok(Command::Tune {
+                duration_ms: parse_ms(opts.get("--duration-ms"), 2000)?,
+                budget: parse_bytes(opts.get("--budget"))?,
+                target_loss_ppm: parse_ppm(opts.get("--target-loss"))?,
                 json: flags.contains(&"--json".to_string()),
             })
         }
@@ -359,6 +410,34 @@ fn flags_and_options(
         }
     }
     Ok((seen_flags, out))
+}
+
+/// Optional positive byte count (`--budget`).
+fn parse_bytes(value: Option<&String>) -> Result<Option<u64>, String> {
+    match value {
+        None => Ok(None),
+        Some(v) => {
+            let bytes: u64 = v.parse().map_err(|_| format!("invalid byte count {v}"))?;
+            if bytes == 0 {
+                return Err("byte count must be positive".into());
+            }
+            Ok(Some(bytes))
+        }
+    }
+}
+
+/// Parts-per-million value (`--target-loss`), default 10000 (1%).
+fn parse_ppm(value: Option<&String>) -> Result<u64, String> {
+    match value {
+        None => Ok(10_000),
+        Some(v) => {
+            let ppm: u64 = v.parse().map_err(|_| format!("invalid ppm value {v}"))?;
+            if ppm > 1_000_000 {
+                return Err(format!("ppm value must be <= 1000000, got {ppm}"));
+            }
+            Ok(ppm)
+        }
+    }
 }
 
 fn parse_ms(value: Option<&String>, default: u64) -> Result<u64, String> {
@@ -514,6 +593,9 @@ mod tests {
                 batch_events: 512,
                 queue_depth: 8,
                 drain_threads: None,
+                auto_size: false,
+                budget: None,
+                target_loss_ppm: 10_000,
                 json: false
             })
         );
@@ -526,6 +608,9 @@ mod tests {
                 batch_events: 512,
                 queue_depth: 4,
                 drain_threads: None,
+                auto_size: false,
+                budget: None,
+                target_loss_ppm: 10_000,
                 json: true
             })
         );
@@ -538,6 +623,9 @@ mod tests {
                 batch_events: 512,
                 queue_depth: 8,
                 drain_threads: Some(4),
+                auto_size: false,
+                budget: None,
+                target_loss_ppm: 10_000,
                 json: false
             })
         );
@@ -545,6 +633,49 @@ mod tests {
         assert!(parse(&argv("stream --batch-events 0")).is_err());
         assert!(parse(&argv("stream --queue-depth x")).is_err());
         assert!(parse(&argv("stream --drain-threads 0")).is_err());
+    }
+
+    #[test]
+    fn parses_auto_size_and_tune() {
+        assert_eq!(
+            parse(&argv("stream --auto-size --budget 1048576 --target-loss 500")),
+            Ok(Command::Stream {
+                duration_ms: 2000,
+                out: None,
+                block: true,
+                batch_events: 512,
+                queue_depth: 8,
+                drain_threads: None,
+                auto_size: true,
+                budget: Some(1_048_576),
+                target_loss_ppm: 500,
+                json: false
+            })
+        );
+        // Budget and loss target are controller knobs: rejected without it.
+        assert!(parse(&argv("stream --budget 1048576")).is_err());
+        assert!(parse(&argv("stream --target-loss 500")).is_err());
+        assert!(parse(&argv("stream --auto-size --budget 0")).is_err());
+        assert!(parse(&argv("stream --auto-size --target-loss 2000000")).is_err());
+        assert_eq!(
+            parse(&argv("tune")),
+            Ok(Command::Tune {
+                duration_ms: 2000,
+                budget: None,
+                target_loss_ppm: 10_000,
+                json: false
+            })
+        );
+        assert_eq!(
+            parse(&argv("tune --duration-ms 500 --budget 262144 --target-loss 1000 --json")),
+            Ok(Command::Tune {
+                duration_ms: 500,
+                budget: Some(262_144),
+                target_loss_ppm: 1000,
+                json: true
+            })
+        );
+        assert!(parse(&argv("tune --budget nope")).is_err());
     }
 
     #[test]

@@ -11,7 +11,8 @@ use btrace_persist::{
 };
 use btrace_replay::{scenarios, ReplayConfig, ReplayReport, Replayer};
 use btrace_telemetry::{
-    degraded, Exporter, FlightRecorder, HealthSnapshot, Sampler, SamplerConfig,
+    degraded, ControllerConfig, ControllerThread, EventKind, Exporter, FlightRecorder,
+    HealthSnapshot, ResizeTarget, Sampler, SamplerConfig,
 };
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -362,6 +363,49 @@ fn telemetry_tracer() -> Result<BTrace, String> {
         .map_err(|e| e.to_string())
 }
 
+/// Resize stride of the auto-sized tracer: 64 × 4 KiB = 256 KiB.
+const AUTO_STRIDE: usize = 64 * BLOCK;
+
+/// A deliberately small-starting tracer with grow headroom, for the
+/// sizing controller: 512 KiB initial, 16 MiB reserved ceiling.
+fn resizable_tracer() -> Result<BTrace, String> {
+    BTrace::new(
+        Config::new(4)
+            .active_blocks(64)
+            .block_bytes(BLOCK)
+            .buffer_bytes(2 * AUTO_STRIDE)
+            .max_bytes(64 * AUTO_STRIDE)
+            .backing(Backing::Heap),
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// `--auto-size` options for [`stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct AutoSize {
+    /// Hard memory budget in bytes (`None` = the reserved maximum).
+    pub budget: Option<u64>,
+    /// Loss-rate target in ppm.
+    pub target_loss_ppm: u64,
+}
+
+/// Spawns the sizing controller against `tracer` with CLI-friendly
+/// pacing (10 observations per second).
+fn spawn_controller(tracer: &std::sync::Arc<BTrace>, auto: AutoSize) -> ControllerThread {
+    let budget = auto.budget.unwrap_or(ResizeTarget::max_bytes(&**tracer));
+    ControllerThread::spawn(
+        std::sync::Arc::clone(tracer),
+        tracer.flight_recorder(),
+        ControllerConfig {
+            budget_bytes: budget,
+            target_loss_ppm: auto.target_loss_ppm,
+            stale_after_ms: 1_000,
+            ..ControllerConfig::default()
+        },
+        Duration::from_millis(100),
+    )
+}
+
 fn print_health_table(snap: &HealthSnapshot) {
     println!(
         "buffer: {} blocks x {} B ({:.1} MiB), {} active (bound 1-A/N = {:.3})",
@@ -480,8 +524,9 @@ impl Exporter for WatchExporter {
                 .join(" ")
         };
         println!(
-            "{:>4} {:>12} {:>12.0} {:>9.2} {:>9} {:>6} {:>8.4} {:>8.4} {:>6} {:>6} {:>7} {:>8} {}",
+            "{:>4} {:>6} {:>12} {:>12.0} {:>9.2} {:>9} {:>6} {:>8.4} {:>8.4} {:>6} {:>6} {:>7} {:>8} {}",
             s.seq,
+            s.age_ms,
             s.records,
             s.rates.records_per_sec,
             s.rates.bytes_per_sec / (1 << 20) as f64,
@@ -516,8 +561,9 @@ pub fn watch(period_ms: u64, duration_ms: u64, jsonl: Option<&str>, prom: Option
         }
     };
     println!(
-        "{:>4} {:>12} {:>12} {:>9} {:>9} {:>6} {:>8} {:>8} {:>6} {:>6} {:>7} {:>8} state",
+        "{:>4} {:>6} {:>12} {:>12} {:>9} {:>9} {:>6} {:>8} {:>8} {:>6} {:>6} {:>7} {:>8} state",
         "seq",
+        "age_ms",
         "records",
         "rec/s",
         "MiB/s",
@@ -547,7 +593,7 @@ pub fn watch(period_ms: u64, duration_ms: u64, jsonl: Option<&str>, prom: Option
 }
 
 /// `btrace stream`
-#[allow(clippy::fn_params_excessive_bools)]
+#[allow(clippy::fn_params_excessive_bools, clippy::too_many_arguments)]
 pub fn stream(
     duration_ms: u64,
     out: Option<&str>,
@@ -555,6 +601,7 @@ pub fn stream(
     batch_events: usize,
     queue_depth: usize,
     drain_threads: Option<usize>,
+    auto_size: Option<AutoSize>,
     json: bool,
 ) -> i32 {
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -571,13 +618,16 @@ pub fn stream(
         }
         None => 4.min(host_cpus),
     };
-    let tracer = match telemetry_tracer() {
+    // Auto-sized streams start small and let the controller earn the
+    // bytes; fixed-size streams keep the classic 4 MiB geometry.
+    let tracer = match if auto_size.is_some() { resizable_tracer() } else { telemetry_tracer() } {
         Ok(t) => std::sync::Arc::new(t),
         Err(e) => {
             eprintln!("error: {e}");
             return 1;
         }
     };
+    let controller = auto_size.map(|auto| spawn_controller(&tracer, auto));
     let sink: Box<dyn FrameSink> = match out {
         Some(path) => match FileFrameSink::create(path) {
             Ok(s) => Box::new(s),
@@ -644,6 +694,21 @@ pub fn stream(
         stop.store(true, Ordering::Relaxed);
     });
     let stats = pipeline.stop();
+    if let Some(mut ctrl) = controller {
+        ctrl.stop();
+        if !json {
+            let s = ctrl.stats();
+            println!(
+                "controller: {} resizes ({} failed), {} budget clamps, {} stale snapshots \
+                 skipped; final capacity {} KiB",
+                s.resizes.load(Ordering::Relaxed),
+                s.failures.load(Ordering::Relaxed),
+                s.budget_clamps.load(Ordering::Relaxed),
+                s.stale_skips.load(Ordering::Relaxed),
+                tracer.capacity_bytes() / 1024,
+            );
+        }
+    }
 
     if json {
         // The stream's per-stage gauges ride along in the standard health
@@ -691,6 +756,123 @@ pub fn stream(
     0
 }
 
+/// `btrace tune` — dry-runs the sizing controller: a throwaway resizable
+/// buffer takes a two-phase synthetic load (a spike, then a drip), the
+/// controller reacts, and the command prints every decision it took plus
+/// the capacity it settled on. Nothing outlives the run.
+pub fn tune(duration_ms: u64, budget: Option<u64>, target_loss_ppm: u64, json: bool) -> i32 {
+    let tracer = match resizable_tracer() {
+        Ok(t) => std::sync::Arc::new(t),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let start_bytes = tracer.capacity_bytes();
+    let mut controller = spawn_controller(&tracer, AutoSize { budget, target_loss_ppm });
+
+    // Phase 1 (first half): every core spins flat out — the launch-spike
+    // shape that should force grows. Phase 2 (second half): a slow drip
+    // that should let the retention-ranked shrink reclaim bytes.
+    let stop = AtomicBool::new(false);
+    let spike_until = std::time::Instant::now() + Duration::from_millis(duration_ms / 2);
+    let deadline = std::time::Instant::now() + Duration::from_millis(duration_ms);
+    std::thread::scope(|scope| {
+        for core in 0..tracer.cores() {
+            let producer = tracer.producer(core).expect("core in range");
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    producer
+                        .record_with(
+                            core as u64 * 1_000_000_000 + i,
+                            i as u32 % 17,
+                            b"tune: synthetic event",
+                        )
+                        .expect("payload fits");
+                    i += 1;
+                    if std::time::Instant::now() >= spike_until {
+                        std::thread::sleep(Duration::from_millis(5));
+                    } else if i.is_multiple_of(2048) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        let mut consumer = tracer.consumer();
+        while std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+            let _ = consumer.collect();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    controller.stop();
+
+    let stats = controller.stats();
+    let snap = tracer.health_snapshot();
+    let recommended = tracer.capacity_bytes();
+    if json {
+        use btrace_telemetry::json::Json;
+        let obj = Json::Obj(vec![
+            ("recommended_bytes".into(), Json::from_u64(recommended as u64)),
+            ("start_bytes".into(), Json::from_u64(start_bytes as u64)),
+            (
+                "budget_bytes".into(),
+                Json::from_u64(budget.unwrap_or(ResizeTarget::max_bytes(&*tracer))),
+            ),
+            ("target_loss_ppm".into(), Json::from_u64(target_loss_ppm)),
+            ("resizes".into(), Json::from_u64(stats.resizes.load(Ordering::Relaxed))),
+            ("resize_failures".into(), Json::from_u64(stats.failures.load(Ordering::Relaxed))),
+            ("budget_clamps".into(), Json::from_u64(stats.budget_clamps.load(Ordering::Relaxed))),
+            ("stale_skips".into(), Json::from_u64(stats.stale_skips.load(Ordering::Relaxed))),
+            ("skips".into(), Json::from_u64(snap.skips)),
+        ]);
+        println!("{}", obj.render());
+    } else {
+        println!("controller decision log:");
+        let timeline = tracer.flight_recorder().snapshot();
+        let mut decisions = 0;
+        for e in &timeline.events {
+            if matches!(
+                e.kind,
+                EventKind::CtrlObserve
+                    | EventKind::CtrlResize
+                    | EventKind::CtrlBackoff
+                    | EventKind::CtrlBudgetClamp
+            ) {
+                // Observations are the controller's heartbeat; print only
+                // the ones that carried a signal, plus every action.
+                if e.kind != EventKind::CtrlObserve || e.a > 0 || e.source == 1 {
+                    println!("  {}", e.describe());
+                    decisions += 1;
+                }
+            }
+        }
+        if decisions == 0 {
+            println!("  (only quiet observations — the load never stressed the buffer)");
+        }
+        println!(
+            "tuned over {:.1}s: {} -> {} KiB ({} resizes, {} failed, {} budget clamps, \
+             {} stale snapshots skipped)",
+            duration_ms as f64 / 1000.0,
+            start_bytes / 1024,
+            recommended / 1024,
+            stats.resizes.load(Ordering::Relaxed),
+            stats.failures.load(Ordering::Relaxed),
+            stats.budget_clamps.load(Ordering::Relaxed),
+            stats.stale_skips.load(Ordering::Relaxed),
+        );
+        println!(
+            "recommendation: provision {} KiB ({} blocks of {} B) for this load shape",
+            recommended / 1024,
+            recommended / BLOCK,
+            BLOCK
+        );
+    }
+    0
+}
+
 /// The doctor's fault-storm geometry: a deliberately tiny resizable
 /// buffer so producers lap it and the pipeline sheds under load.
 const DOCTOR_BLOCK: usize = 1024;
@@ -734,6 +916,21 @@ pub fn doctor(fault_seed: u64, duration_ms: u64, json: bool) -> i32 {
             ..PipelineConfig::default()
         },
     );
+    // The sizing controller runs through the storm too: its grow attempts
+    // hit the same injected commit faults, so its resize and back-off
+    // decisions land on the recorder next to the loss they failed to
+    // prevent — and the diagnosis below names them in the cause chains.
+    let mut controller = ControllerThread::spawn(
+        std::sync::Arc::clone(&tracer),
+        tracer.flight_recorder(),
+        ControllerConfig {
+            budget_bytes: (8 * DOCTOR_STRIDE) as u64,
+            stale_after_ms: 1_000,
+            cooldown_ticks: 1,
+            ..ControllerConfig::default()
+        },
+        Duration::from_millis(duration_ms.clamp(200, 2000) / 20),
+    );
 
     let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
@@ -760,10 +957,11 @@ pub fn doctor(fault_seed: u64, duration_ms: u64, json: bool) -> i32 {
         // Halfway in, attempt a grow. With the fault plan armed this is
         // the injected incident: commit faults → retries → fallback.
         std::thread::sleep(Duration::from_millis(duration_ms / 2));
-        let _ = tracer.resize_bytes(4 * DOCTOR_STRIDE);
+        let _ = BTrace::resize_bytes(&tracer, 4 * DOCTOR_STRIDE);
         std::thread::sleep(Duration::from_millis(duration_ms - duration_ms / 2));
         stop.store(true, Ordering::Relaxed);
     });
+    controller.stop();
     let pstats = pipeline.stop();
 
     let mut snap = tracer.health_snapshot();

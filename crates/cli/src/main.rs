@@ -41,6 +41,9 @@ fn main() {
             batch_events,
             queue_depth,
             drain_threads,
+            auto_size,
+            budget,
+            target_loss_ppm,
             json,
         }) => commands::stream(
             duration_ms,
@@ -49,8 +52,12 @@ fn main() {
             batch_events,
             queue_depth,
             drain_threads,
+            auto_size.then_some(commands::AutoSize { budget, target_loss_ppm }),
             json,
         ),
+        Ok(Command::Tune { duration_ms, budget, target_loss_ppm, json }) => {
+            commands::tune(duration_ms, budget, target_loss_ppm, json)
+        }
         Ok(Command::Doctor { fault_seed, duration_ms, json }) => {
             commands::doctor(fault_seed, duration_ms, json)
         }

@@ -598,6 +598,22 @@ impl btrace_telemetry::SnapshotSource for BTrace {
     }
 }
 
+#[cfg(feature = "telemetry")]
+impl btrace_telemetry::ResizeTarget for BTrace {
+    fn current_bytes(&self) -> u64 {
+        self.capacity_bytes() as u64
+    }
+    fn stride_bytes(&self) -> u64 {
+        (self.shared.cfg.block_bytes * self.shared.cfg.active_blocks) as u64
+    }
+    fn max_bytes(&self) -> u64 {
+        self.shared.cfg.max_bytes() as u64
+    }
+    fn resize_bytes(&self, bytes: u64) -> Result<(), String> {
+        BTrace::resize_bytes(self, bytes as usize).map_err(|e| e.to_string())
+    }
+}
+
 impl std::fmt::Debug for BTrace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BTrace")

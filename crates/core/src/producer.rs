@@ -17,7 +17,88 @@ use crate::error::TraceError;
 use crate::event::{encoded_len, EntryHeader, EntryKind, HEADER_BYTES};
 use crate::meta::Alloc;
 use crate::sync::Arc;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::Weak;
+
+/// Heap-shared state of one handle's coalesced confirm run.
+///
+/// The run state used to be a plain `Cell` inside [`Producer`], which made
+/// the PR-7 discipline — *flush before a same-thread resize* — enforceable
+/// only by convention: `resize_bytes` had no way to reach the calling
+/// thread's pending runs, so a caller that forgot the flush pinned its
+/// cached block's round across the resize and stalled the drain loop into
+/// `ResizeTimeout`. Hoisting the state into a shared slot lets a per-thread
+/// registry hand exactly those runs to [`flush_thread_coalesced`], which
+/// the resize entry point calls before it starts waiting on block closes.
+///
+/// The fields are atomics only so the (forbidden, but `Send`-expressible)
+/// pattern of moving a `Producer` across threads mid-run is a logic error
+/// rather than UB. The producer path uses pure relaxed loads and stores —
+/// no RMW, compiling to the same plain moves the `Cell` did — and these
+/// deliberately bypass the model-checking facade: like the diagnostic
+/// counters, the accumulator is thread-private bookkeeping, not protocol
+/// synchronization (the publication edge is still the `confirm_entry`
+/// Release that flushes it).
+pub(crate) struct CoalesceSlot {
+    /// Identity (address) of the `Shared` the run's confirms belong to.
+    shared_id: usize,
+    /// Token of the thread whose registry currently owns this slot; 0
+    /// until the first run opens.
+    owner: AtomicU64,
+    /// Meta block the pending run occupies. Only meaningful while
+    /// `pending` is non-zero; written at run open, before the first
+    /// deferred confirm is accumulated.
+    meta_idx: AtomicUsize,
+    /// Unconfirmed bytes of the pending run.
+    pending: AtomicU64,
+}
+
+thread_local! {
+    /// The coalesced runs opened (most recently) on this thread, one weak
+    /// entry per live coalescing `Producer`. Dead entries are pruned on
+    /// every flush walk.
+    static THREAD_RUNS: RefCell<Vec<Weak<CoalesceSlot>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A token unique to the calling thread for the thread's lifetime (the
+/// address of a thread-local; a recycled address can only belong to a
+/// thread whose registry started empty, so stale owners never alias).
+fn thread_token() -> u64 {
+    thread_local! {
+        static TOKEN: u8 = const { 0 };
+    }
+    TOKEN.with(|t| t as *const u8 as usize as u64)
+}
+
+/// Confirms every pending coalesced run that was opened *on the calling
+/// thread* against `shared`, returning the number of runs flushed.
+///
+/// This is the resize guard: `BTrace::resize_bytes` runs it before the
+/// meta drain so a caller holding its own unflushed run cannot deadlock
+/// the drain loop it is about to enter (the run pins its block's round,
+/// and the only thread that could have flushed it is the one now inside
+/// the resize). Runs owned by other threads are left alone — their owners
+/// are still recording and flush at their own block boundaries.
+pub(crate) fn flush_thread_coalesced(shared: &Shared) -> usize {
+    let me = thread_token();
+    let id = shared as *const Shared as usize;
+    THREAD_RUNS.with(|runs| {
+        let mut flushed = 0;
+        runs.borrow_mut().retain(|weak| {
+            let Some(slot) = weak.upgrade() else { return false };
+            if slot.shared_id == id && slot.owner.load(Relaxed) == me {
+                let pending = slot.pending.swap(0, Relaxed) as u32;
+                if pending > 0 {
+                    shared.confirm_entry(slot.meta_idx.load(Relaxed), pending);
+                    flushed += 1;
+                }
+            }
+            true
+        });
+        flushed
+    })
+}
 
 /// Largest payload that fits one entry in a block of `block_bytes`: the
 /// block header consumes the first 16 bytes, the entry header another 16.
@@ -72,18 +153,22 @@ pub struct Producer {
     /// Whether [`Producer::record_with`] defers confirmation (see
     /// [`Producer::set_confirm_coalescing`]).
     coalesce: Cell<bool>,
-    /// Unconfirmed bytes this handle has written into the cached block.
+    /// Unconfirmed bytes this handle has written into the cached block,
+    /// hoisted into a heap slot (see [`CoalesceSlot`]) so the resize path
+    /// can flush the calling thread's runs through the per-thread registry.
     ///
-    /// Non-zero only under coalescing, and only ever for the block the
-    /// cached descriptor names: the run is flushed — one Release RMW
-    /// covering all of it — before the descriptor is re-seeded to another
-    /// block (the `#[cold]` refresh, i.e. a block boundary), on
-    /// [`Producer::flush_confirms`], and on drop. Holding the run
-    /// unconfirmed is exactly the open-grant state the protocol already
-    /// supports: an unconfirmed in-capacity allocation pins the block's
-    /// round (`meta.rs` invariant 2), so the bytes can be neither recycled
-    /// nor reclaimed before the flush.
-    pending_confirm: Cell<u32>,
+    /// `pending` is non-zero only under coalescing, and only ever for the
+    /// block the cached descriptor names: the run is flushed — one Release
+    /// RMW covering all of it — before the descriptor is re-seeded to
+    /// another block (the `#[cold]` refresh, i.e. a block boundary), on
+    /// [`Producer::flush_confirms`], on a same-thread `resize_bytes`, and
+    /// on drop. Holding the run unconfirmed is exactly the open-grant
+    /// state the protocol already supports: an unconfirmed in-capacity
+    /// allocation pins the block's round (`meta.rs` invariant 2), so the
+    /// bytes can be neither recycled nor reclaimed before the flush. The
+    /// coalesced record path pays one extra L1 load for the indirection;
+    /// the slot's line is written only by this handle and stays hot.
+    slot: Arc<CoalesceSlot>,
 }
 
 impl Clone for Producer {
@@ -94,9 +179,15 @@ impl Clone for Producer {
             desc: Cell::new(self.desc.get()),
             coalesce: Cell::new(self.coalesce.get()),
             // The pending run belongs to *this* handle's writes; a clone
-            // starting non-zero would confirm bytes it never wrote
-            // (double-confirm corrupts the round's accounting).
-            pending_confirm: Cell::new(0),
+            // sharing (or starting with) a non-zero slot would confirm
+            // bytes it never wrote (double-confirm corrupts the round's
+            // accounting) — every clone gets a fresh, empty slot.
+            slot: Arc::new(CoalesceSlot {
+                shared_id: self.slot.shared_id,
+                owner: AtomicU64::new(0),
+                meta_idx: AtomicUsize::new(0),
+                pending: AtomicU64::new(0),
+            }),
         }
     }
 }
@@ -132,12 +223,18 @@ impl Producer {
             data_idx: map.data_idx,
             data_off: shared.data.block_offset(map.data_idx),
         };
+        let shared_id = &*shared as *const Shared as usize;
         Self {
             shared,
             core,
             desc: Cell::new(desc),
             coalesce: Cell::new(false),
-            pending_confirm: Cell::new(0),
+            slot: Arc::new(CoalesceSlot {
+                shared_id,
+                owner: AtomicU64::new(0),
+                meta_idx: AtomicUsize::new(0),
+                pending: AtomicU64::new(0),
+            }),
         }
     }
 
@@ -174,9 +271,9 @@ impl Producer {
     /// RMW that publishes every record since the last flush. Call before
     /// expecting a consumer to see the tail of a coalesced burst.
     pub fn flush_confirms(&self) {
-        let pending = self.pending_confirm.replace(0);
+        let pending = self.slot.pending.swap(0, Relaxed) as u32;
         if pending > 0 {
-            self.shared.confirm_entry(self.desc.get().meta_idx, pending);
+            self.shared.confirm_entry(self.slot.meta_idx.load(Relaxed), pending);
         }
     }
 
@@ -206,7 +303,7 @@ impl Producer {
     /// and re-seed the cache.
     #[cold]
     fn refresh(&self, need: u32, fail: Alloc, d: Desc) -> Granted {
-        let pending = self.pending_confirm.replace(0);
+        let pending = self.slot.pending.swap(0, Relaxed) as u32;
         match fail {
             // We own the insufficient tail of the cached block: fill and
             // confirm it, exactly as the uncached path would (Fig. 8c). The
@@ -253,6 +350,27 @@ impl Producer {
             data_off: granted.data_off,
         });
         granted
+    }
+
+    /// Opens a coalesced run in `meta_idx`: stamps the slot and, when this
+    /// thread does not already own the slot, re-homes it into the calling
+    /// thread's run registry so a same-thread `resize_bytes` can flush it.
+    /// Runs once per block per handle — cold next to the per-record path.
+    #[cold]
+    fn open_run(&self, meta_idx: usize) {
+        let slot = &self.slot;
+        slot.meta_idx.store(meta_idx, Relaxed);
+        let me = thread_token();
+        if slot.owner.load(Relaxed) != me {
+            slot.owner.store(me, Relaxed);
+            THREAD_RUNS.with(|runs| {
+                let mut runs = runs.borrow_mut();
+                let ptr = Arc::as_ptr(slot);
+                if !runs.iter().any(|w| w.as_ptr() == ptr) {
+                    runs.push(Arc::downgrade(slot));
+                }
+            });
+        }
     }
 
     /// The core this handle records on.
@@ -304,11 +422,21 @@ impl Producer {
         );
         if self.coalesce.get() {
             // Deferred: the covering Release happens at the block boundary
-            // (refresh), on flush_confirms, or on drop. `granted` is always
-            // the cached descriptor's block here — a boundary-crossing
-            // allocation went through refresh, which flushed the old run
-            // before re-seeding the descriptor.
-            self.pending_confirm.set(self.pending_confirm.get() + granted.len);
+            // (refresh), on flush_confirms, on a same-thread resize, or on
+            // drop. `granted` is always the cached descriptor's block here —
+            // a boundary-crossing allocation went through refresh, which
+            // flushed the old run before re-seeding the descriptor. Pure
+            // relaxed load + store (no RMW): the slot is written by this
+            // handle only, and the run-open below re-homes the slot into
+            // the current thread's registry so `resize_bytes` can reach it.
+            let slot = &*self.slot;
+            let pending = slot.pending.load(Relaxed);
+            if pending == 0 {
+                self.open_run(granted.meta_idx);
+            } else {
+                debug_assert_eq!(slot.meta_idx.load(Relaxed), granted.meta_idx);
+            }
+            slot.pending.store(pending + granted.len as u64, Relaxed);
         } else {
             shared.confirm_entry(granted.meta_idx, granted.len);
         }

@@ -114,6 +114,12 @@ impl BTrace {
                 self.shared.cfg.max_bytes()
             )));
         }
+        // The calling thread may hold pending coalesced confirm runs (PR-7
+        // discipline). They pin their blocks' rounds exactly like open
+        // grants — and this thread, about to sit in the drain loop below,
+        // is the only one that could ever flush them. Flush here rather
+        // than stalling into `ResizeTimeout`.
+        crate::producer::flush_thread_coalesced(&self.shared);
         self.resize_ratio(ratio as u16)
     }
 
@@ -430,6 +436,39 @@ mod tests {
         let stamps: Vec<_> = out.events.iter().map(|e| e.stamp()).collect();
         for i in 0..20 {
             assert!(stamps.contains(&i), "stamp {i} lost across grow: {stamps:?}");
+        }
+    }
+
+    #[test]
+    fn same_thread_resize_flushes_pending_coalesced_run() {
+        // PR-7's discipline ("flush before a same-thread resize") used to be
+        // convention only: the pending run pins its block's round, the drain
+        // loop waits on that round, and the only thread able to flush is the
+        // one inside the resize — a guaranteed stall into ResizeTimeout.
+        // `resize_bytes` now flushes the calling thread's runs itself.
+        let t = resizable();
+        let p = t.producer(0).unwrap();
+        p.set_confirm_coalescing(true);
+        // A partial run: the block is not full, so nothing has flushed it.
+        for i in 0..5u64 {
+            p.record_with(i, 0, b"mid-run entry").unwrap();
+        }
+        let started = std::time::Instant::now();
+        t.resize_bytes(1024 * 4 * 8).expect("same-thread resize must not time out");
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(4),
+            "resize stalled against the caller's own pending run"
+        );
+        // The flushed run is published and survives the grow; recording
+        // continues coalesced afterwards.
+        for i in 5..10u64 {
+            p.record_with(i, 0, b"post-resize").unwrap();
+        }
+        p.flush_confirms();
+        let out = t.consumer().collect();
+        let stamps: Vec<_> = out.events.iter().map(|e| e.stamp()).collect();
+        for i in 0..10 {
+            assert!(stamps.contains(&i), "stamp {i} lost across coalesced resize: {stamps:?}");
         }
     }
 

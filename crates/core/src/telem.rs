@@ -139,22 +139,44 @@ pub(crate) fn health_snapshot(shared: &Shared) -> HealthSnapshot {
     let stats = shared.counters.snapshot();
     let cap = shared.cap();
     let active = shared.active();
-    let capacity_blocks =
-        shared.capacity_blocks.load(std::sync::atomic::Ordering::Acquire) as usize;
 
     // Occupancy of the active metadata rounds: how full each currently
     // live block is, by confirmed bytes. `pos` can transiently exceed the
-    // block size (over-allocation before the tail check), so clamp.
-    let mut open_blocks = 0;
-    let mut occupancy_sum = 0.0;
-    for meta in shared.metas.iter() {
-        let conf = meta.confirmed();
-        let pos = conf.pos.min(cap);
-        if pos < cap {
-            open_blocks += 1;
+    // block size (over-allocation before the tail check), so clamp. A
+    // resize landing mid-scan republishes the geometry while meta rounds
+    // are being forced closed and reopened, which skews the sum against a
+    // mix of pre- and post-resize rounds — retry the scan against the
+    // geometry it actually observed, and clamp the mean so no interleaving
+    // can report an occupancy outside `[0, 1]`.
+    let mut capacity_blocks;
+    let mut open_blocks;
+    let mut occupancy_sum;
+    let mut attempts = 0;
+    loop {
+        capacity_blocks =
+            shared.capacity_blocks.load(std::sync::atomic::Ordering::Acquire) as usize;
+        open_blocks = 0;
+        occupancy_sum = 0.0;
+        for meta in shared.metas.iter() {
+            let conf = meta.confirmed();
+            let pos = conf.pos.min(cap);
+            if pos < cap {
+                open_blocks += 1;
+            }
+            occupancy_sum += pos as f64 / cap as f64;
         }
-        occupancy_sum += pos as f64 / cap as f64;
+        attempts += 1;
+        let live = shared.capacity_blocks.load(std::sync::atomic::Ordering::Acquire) as usize;
+        if live == capacity_blocks || attempts >= 3 {
+            // Either the scan saw one consistent geometry, or resizes are
+            // storming; after a bounded number of retries report the last
+            // scan (the clamp below keeps it in range) rather than block
+            // the sampler behind the resize lock.
+            capacity_blocks = live;
+            break;
+        }
     }
+    let mean_occupancy = (occupancy_sum / active as f64).clamp(0.0, 1.0);
 
     let per_core = shared
         .counters
@@ -167,6 +189,7 @@ pub(crate) fn health_snapshot(shared: &Shared) -> HealthSnapshot {
     HealthSnapshot {
         seq: 0,
         unix_ms: 0,
+        age_ms: 0,
         cores: shared.cfg.cores,
         capacity_blocks,
         active_blocks: active,
@@ -174,7 +197,7 @@ pub(crate) fn health_snapshot(shared: &Shared) -> HealthSnapshot {
         capacity_bytes: capacity_blocks * shared.cfg.block_bytes,
         committed_bytes: shared.committed_extent.load(std::sync::atomic::Ordering::Acquire) as u64,
         open_blocks,
-        mean_occupancy: occupancy_sum / active as f64,
+        mean_occupancy,
         records: stats.records,
         recorded_bytes: stats.recorded_bytes,
         dummy_bytes: stats.dummy_bytes,

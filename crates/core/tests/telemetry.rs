@@ -96,6 +96,68 @@ fn health_snapshot_reports_per_core_counts_and_latencies() {
 }
 
 #[test]
+fn mean_occupancy_stays_in_range_through_a_resize_storm() {
+    // Snapshots taken while resizes republish the geometry used to mix
+    // pre- and post-resize meta rounds into the occupancy sum. Hammer
+    // snapshots against a grow/shrink storm under live load and pin the
+    // invariant the controller depends on: mean_occupancy ∈ [0, 1].
+    let t = BTrace::new(
+        Config::new(2)
+            .active_blocks(4)
+            .block_bytes(1024)
+            .buffer_bytes(1024 * 4 * 2)
+            .max_bytes(1024 * 4 * 16)
+            .backing(Backing::Heap),
+    )
+    .unwrap();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writers: Vec<_> = (0..2)
+        .map(|core| {
+            let p = t.producer(core).unwrap();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    p.record_with(i, core as u32, b"storm payload").unwrap();
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    let resizer = {
+        let t = t.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let sizes = [1024 * 4 * 8, 1024 * 4, 1024 * 4 * 16, 1024 * 4 * 2];
+            let mut i = 0;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let _ = t.resize_bytes(sizes[i % sizes.len()]);
+                i += 1;
+            }
+        })
+    };
+    let deadline = std::time::Instant::now() + Duration::from_millis(300);
+    let mut taken = 0u32;
+    while std::time::Instant::now() < deadline {
+        let snap = t.health_snapshot();
+        assert!(
+            (0.0..=1.0).contains(&snap.mean_occupancy),
+            "mean_occupancy out of range mid-storm: {} (capacity_blocks={})",
+            snap.mean_occupancy,
+            snap.capacity_blocks
+        );
+        assert!(snap.open_blocks <= snap.active_blocks);
+        taken += 1;
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    resizer.join().unwrap();
+    assert!(taken > 10, "storm must actually exercise snapshots, took {taken}");
+}
+
+#[test]
 fn record_timing_can_be_disabled_and_retuned() {
     let t = tracer(1);
     let p = t.producer(0).unwrap();

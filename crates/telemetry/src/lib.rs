@@ -17,6 +17,10 @@
 //!   [`SnapshotSource`], derives rate-windowed deltas, and feeds pluggable
 //!   [`Exporter`]s (JSONL and Prometheus text formats ship in
 //!   `btrace-persist`).
+//! * [`Controller`] / [`ControllerThread`] — the adaptive-sizing control
+//!   loop: drives `resize_bytes` from snapshot deltas to hold a target
+//!   loss-rate under a hard memory budget, with hysteresis, cooldown,
+//!   exponential back-off, and retention-ranked shrinking.
 //!
 //! The crate is dependency-light and tracer-agnostic: `btrace-core`
 //! implements [`SnapshotSource`] behind its `telemetry` feature (on by
@@ -42,12 +46,17 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod controller;
 mod hist;
 pub mod json;
 mod recorder;
 mod sampler;
 mod snapshot;
 
+pub use controller::{
+    Controller, ControllerConfig, ControllerStats, ControllerThread, Decision, IdleReason,
+    ResizeReason, ResizeTarget, StaleReason,
+};
 pub use hist::{Histogram, HistogramSnapshot, ShardedHistogram, NUM_BUCKETS};
 pub use recorder::{
     EventKind, FlightRecorder, RecordedEvent, RecorderSnapshot, DEFAULT_SLOTS, STAGE_NAMES,

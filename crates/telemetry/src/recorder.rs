@@ -107,6 +107,22 @@ pub enum EventKind {
     /// An exporter dropped a snapshot after exhausting its retry budget:
     /// `a` = cumulative drops.
     ExportDrop = 15,
+    /// The adaptive-sizing controller observed a snapshot: `a` = measured
+    /// loss rate in ppm over the window, `b` = mean occupancy in
+    /// thousandths. `source` = 1 when the observation was skipped as
+    /// stale, 0 otherwise.
+    CtrlObserve = 16,
+    /// The controller drove a resize: `a` = target capacity in bytes,
+    /// `b` = capacity in bytes before the resize. `source` = 1 for a
+    /// grow, 2 for a shrink.
+    CtrlResize = 17,
+    /// A controller resize failed (fault fallback or protocol error) and
+    /// the controller entered exponential back-off: `a` = cooldown ticks
+    /// it will now wait, `b` = consecutive failures so far.
+    CtrlBackoff = 18,
+    /// The controller wanted more memory than the budget allows and
+    /// clamped: `a` = wanted bytes, `b` = clamped bytes actually asked.
+    CtrlBudgetClamp = 19,
 }
 
 impl EventKind {
@@ -134,6 +150,10 @@ impl EventKind {
             13 => Backpressure,
             14 => ExportRetry,
             15 => ExportDrop,
+            16 => CtrlObserve,
+            17 => CtrlResize,
+            18 => CtrlBackoff,
+            19 => CtrlBudgetClamp,
             _ => Unknown,
         }
     }
@@ -158,6 +178,10 @@ impl EventKind {
             Backpressure => "backpressure",
             ExportRetry => "export_retry",
             ExportDrop => "export_drop",
+            CtrlObserve => "ctrl_observe",
+            CtrlResize => "ctrl_resize",
+            CtrlBackoff => "ctrl_backoff",
+            CtrlBudgetClamp => "ctrl_budget_clamp",
         }
     }
 }
@@ -204,6 +228,20 @@ impl RecordedEvent {
             EventKind::Backpressure => format!("span={} wait_ns={}", self.a, self.b),
             EventKind::ExportRetry => format!("retries={}", self.a),
             EventKind::ExportDrop => format!("drops={}", self.a),
+            EventKind::CtrlObserve => format!(
+                "loss_ppm={} occupancy={}{}",
+                self.a,
+                self.b as f64 / 1000.0,
+                if self.source == 1 { " (stale, skipped)" } else { "" }
+            ),
+            EventKind::CtrlResize => format!(
+                "{} {} -> {} bytes",
+                if self.source == 2 { "shrink" } else { "grow" },
+                self.b,
+                self.a
+            ),
+            EventKind::CtrlBackoff => format!("cooldown_ticks={} failures={}", self.a, self.b),
+            EventKind::CtrlBudgetClamp => format!("wanted={} clamped={} bytes", self.a, self.b),
             EventKind::Unknown => format!("a={} b={}", self.a, self.b),
         };
         let src = match self.kind {

@@ -129,7 +129,13 @@ impl Sampler {
                         .map(|d| d.as_millis() as u64)
                         .unwrap_or(0);
                     if let Some((prev_at, prev_snap)) = &prev {
-                        fill_rates(&mut snap, prev_snap, now.duration_since(*prev_at));
+                        let gap = now.duration_since(*prev_at);
+                        // The realized gap, not the configured period: condvar
+                        // pacing oversleeps under host load, and consumers
+                        // (the controller, `btrace watch`) must see the honest
+                        // width of the window this snapshot covers.
+                        snap.age_ms = gap.as_millis() as u64;
+                        fill_rates(&mut snap, prev_snap, gap);
                     }
                     // Sink trouble up to (but not including) this export is
                     // part of the health report being exported.
@@ -267,6 +273,9 @@ mod tests {
         // Rates are derived after the first sample: 1000 records per tick.
         assert!(last.rates.window_secs > 0.0);
         assert!(last.rates.records_per_sec > 0.0);
+        // Age stamping: every non-first sample carries its realized gap,
+        // which can never undercut the configured period.
+        assert!(last.age_ms >= 5, "realized gap at least the period: {}", last.age_ms);
         assert_eq!(sampler.export_errors(), 0);
     }
 

@@ -245,6 +245,14 @@ pub struct HealthSnapshot {
     /// Wall-clock capture time, milliseconds since the Unix epoch (0 for
     /// raw snapshots).
     pub unix_ms: u64,
+    /// Realized sampling gap in milliseconds: time elapsed between the
+    /// previous sampler capture and this one (0 for raw snapshots and the
+    /// first sample of a run). Condvar pacing can oversleep under host
+    /// load, so this is the honest age of the *window* the snapshot
+    /// covers — consumers acting on snapshots (the adaptive-sizing
+    /// controller, `btrace watch`) compare it against the configured
+    /// period to detect stale input instead of trusting the schedule.
+    pub age_ms: u64,
     /// Producer cores / counter shards.
     pub cores: usize,
     /// Total data blocks `N`.
@@ -316,6 +324,7 @@ impl HealthSnapshot {
         Json::Obj(vec![
             ("seq".into(), Json::from_u64(self.seq)),
             ("unix_ms".into(), Json::from_u64(self.unix_ms)),
+            ("age_ms".into(), Json::from_u64(self.age_ms)),
             ("cores".into(), Json::from_u64(self.cores as u64)),
             ("capacity_blocks".into(), Json::from_u64(self.capacity_blocks as u64)),
             ("active_blocks".into(), Json::from_u64(self.active_blocks as u64)),
@@ -365,6 +374,12 @@ impl HealthSnapshot {
         Some(HealthSnapshot {
             seq: v.get("seq")?.as_u64()?,
             unix_ms: v.get("unix_ms")?.as_u64()?,
+            // Absent on snapshots written before the sampler stamped its
+            // realized gap; decode those as "age unknown" (0).
+            age_ms: match v.get("age_ms") {
+                Some(age) => age.as_u64()?,
+                None => 0,
+            },
             cores: v.get("cores")?.as_usize()?,
             capacity_blocks: v.get("capacity_blocks")?.as_usize()?,
             active_blocks: v.get("active_blocks")?.as_usize()?,
@@ -606,6 +621,7 @@ mod tests {
         HealthSnapshot {
             seq: 7,
             unix_ms: 1_754_000_000_123,
+            age_ms: 1007,
             cores: 2,
             capacity_blocks: 3072,
             active_blocks: 192,
@@ -748,6 +764,7 @@ mod tests {
             \"in_items\":7,\"out_items\":7,\"dropped\":0}]}";
         let parsed = HealthSnapshot::from_json(line).unwrap();
         assert_eq!(parsed.degraded_bits, 0);
+        assert_eq!(parsed.age_ms, 0, "pre-age lines decode as age-unknown");
         assert_eq!(parsed.stream_stages[0].in_items, 7);
         assert_eq!(parsed.stream_stages[0].latency, LatencySummary::default());
         assert_eq!(parsed.stream_stages[0].queue_wait, LatencySummary::default());
