@@ -34,8 +34,8 @@ pub use doctor::{diagnose, Diagnosis, Finding, LossWindow, Severity};
 pub use gapmap::{gap_map, GapMapOptions};
 pub use metrics::{analyze, Metrics};
 pub use parallel::{
-    fold_merge, map_reduce, GapMapPartial, GroupPartial, LatencyPartial, MetricsPartial,
-    TraceAnalysis, TracePartial,
+    fold_merge, map_reduce, tree_merge, GapMapPartial, GroupPartial, LatencyPartial,
+    MetricsPartial, TraceAnalysis, TracePartial,
 };
 pub use stats::{geometric_mean, percentile, BoxStats, LatencyStats};
 pub use table::Table;

@@ -80,6 +80,33 @@ pub fn fold_merge<P>(parts: Vec<P>, mut merge: impl FnMut(P, P) -> P) -> Option<
     Some(iter.fold(first, &mut merge))
 }
 
+/// Balanced pairwise reduction of partials with an associative `merge`.
+/// Returns `None` for an empty input.
+///
+/// Produces the same result as [`fold_merge`] (associativity), but each
+/// partial participates in O(log n) merges instead of up to n — the right
+/// shape when there are *many* small partials (e.g. one per frame) and
+/// `merge` copies its operands, where a linear fold over a growing
+/// accumulator turns quadratic. Adjacent pairing preserves operand order,
+/// so order-sensitive merges stay deterministic by inspection too.
+pub fn tree_merge<P>(mut parts: Vec<P>, mut merge: impl FnMut(P, P) -> P) -> Option<P> {
+    if parts.is_empty() {
+        return None;
+    }
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut iter = parts.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(merge(a, b)),
+                None => next.push(a),
+            }
+        }
+        parts = next;
+    }
+    parts.pop()
+}
+
 // ---------------------------------------------------------------------------
 // Metrics monoid
 // ---------------------------------------------------------------------------
@@ -518,6 +545,18 @@ mod tests {
             .collect();
         events.push(ev(60, 1, 103, 16 + 60 % 7));
         events
+    }
+
+    #[test]
+    fn tree_merge_matches_fold_merge() {
+        let events = sample_events();
+        for chunk in [1, 2, 3, 7, events.len()] {
+            let parts: Vec<TracePartial> = events.chunks(chunk).map(TracePartial::map).collect();
+            let folded = fold_merge(parts.clone(), TracePartial::merge).unwrap();
+            let treed = tree_merge(parts, TracePartial::merge).unwrap();
+            assert_eq!(treed, folded, "chunk size {chunk}");
+        }
+        assert!(tree_merge(Vec::<TracePartial>::new(), TracePartial::merge).is_none());
     }
 
     #[test]

@@ -25,6 +25,16 @@ COMMANDS:
         --threads <K>              worker threads (default 1 = sequential reference)
         --fragments <N>            fragments to split into (default: one per thread)
         --map                      also print the retention gap map
+    query <FILE>                   predicate query over a frame stream or dump
+        --since <STAMP>            keep events with stamp >= STAMP
+        --until <STAMP>            keep events with stamp <= STAMP
+        --core <N>                 keep events from core N (repeatable)
+        --category <NAME|0xBITS>   keep atrace events in this category
+                                   (name from the catalog, or a hex/dec mask)
+        --threads <K>              worker threads (default 1)
+        --metrics                  also print the retention metrics table
+        --gap-map                  also print the retention gap map
+        --json                     emit the report as one JSON line
     stat                           run a synthetic load, print a health snapshot
         --json                     emit the snapshot as one JSON line
         --duration-ms <N>          workload length (default 1000)
@@ -111,6 +121,27 @@ pub enum Command {
         fragments: usize,
         /// Whether to print the gap map.
         map: bool,
+    },
+    /// Predicate query over a frame stream (.btsf) or dump (.btd).
+    Query {
+        /// Input path.
+        file: String,
+        /// Keep events with `stamp >= since`.
+        since: Option<u64>,
+        /// Keep events with `stamp <= until`.
+        until: Option<u64>,
+        /// Keep events from these cores (empty = all).
+        cores: Vec<u16>,
+        /// Category name or bit mask, if given.
+        category: Option<String>,
+        /// Worker threads.
+        threads: usize,
+        /// Whether to print the retention metrics table.
+        metrics: bool,
+        /// Whether to print the gap map.
+        map: bool,
+        /// Emit the report as one JSON line.
+        json: bool,
     },
     /// One-shot health snapshot of a synthetic workload.
     Stat {
@@ -269,6 +300,60 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 map,
             })
         }
+        "query" => {
+            let mut file = None;
+            let mut since = None;
+            let mut until = None;
+            let mut cores = Vec::new();
+            let mut category = None;
+            let mut threads = None;
+            let (mut metrics, mut map, mut json) = (false, false, false);
+            let mut words = it;
+            while let Some(arg) = words.next() {
+                match arg.as_str() {
+                    "--metrics" => metrics = true,
+                    "--gap-map" => map = true,
+                    "--json" => json = true,
+                    key @ ("--since" | "--until" | "--core" | "--category" | "--threads") => {
+                        let value = words.next().ok_or(format!("{key} requires a value"))?;
+                        match key {
+                            "--since" => since = Some(parse_stamp(key, value)?),
+                            "--until" => until = Some(parse_stamp(key, value)?),
+                            "--core" => cores.push(
+                                value.parse().map_err(|_| format!("invalid --core {value}"))?,
+                            ),
+                            "--category" => category = Some(value.clone()),
+                            _ => threads = Some(value.clone()),
+                        }
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown option {other}"))
+                    }
+                    other => {
+                        if file.replace(other.to_string()).is_some() {
+                            return Err("query takes exactly one file".into());
+                        }
+                    }
+                }
+            }
+            if let (Some(s), Some(u)) = (since, until) {
+                if s > u {
+                    return Err(format!("--since {s} is after --until {u}"));
+                }
+            }
+            let file = file.ok_or("query requires a file argument")?;
+            Ok(Command::Query {
+                file,
+                since,
+                until,
+                cores,
+                category,
+                threads: parse_count(threads.as_ref(), 1)?,
+                metrics,
+                map,
+                json,
+            })
+        }
         "stat" => {
             let (flags, opts) = flags_and_options(
                 it.as_slice(),
@@ -372,6 +457,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         other => Err(format!("unknown command {other}")),
     }
+}
+
+fn parse_stamp(key: &str, value: &str) -> Result<u64, String> {
+    value.parse().map_err(|_| format!("invalid {key} {value}"))
 }
 
 fn parse_count(value: Option<&String>, default: usize) -> Result<usize, String> {
@@ -538,6 +627,49 @@ mod tests {
         assert!(parse(&argv("analyze x --threads")).is_err());
         assert!(parse(&argv("analyze x --fragments nope")).is_err());
         assert!(parse(&argv("analyze x --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_query() {
+        assert_eq!(
+            parse(&argv("query frames.btsf")),
+            Ok(Command::Query {
+                file: "frames.btsf".into(),
+                since: None,
+                until: None,
+                cores: vec![],
+                category: None,
+                threads: 1,
+                metrics: false,
+                map: false,
+                json: false
+            })
+        );
+        assert_eq!(
+            parse(&argv(
+                "query --since 100 --until 900 --core 0 --core 3 --category sched \
+                 --threads 4 trace.btd --metrics --gap-map --json"
+            )),
+            Ok(Command::Query {
+                file: "trace.btd".into(),
+                since: Some(100),
+                until: Some(900),
+                cores: vec![0, 3],
+                category: Some("sched".into()),
+                threads: 4,
+                metrics: true,
+                map: true,
+                json: true
+            })
+        );
+        assert!(parse(&argv("query")).is_err());
+        assert!(parse(&argv("query a b")).is_err());
+        assert!(parse(&argv("query x --since nope")).is_err());
+        assert!(parse(&argv("query x --since 10 --until 5")).is_err());
+        assert!(parse(&argv("query x --core -1")).is_err());
+        assert!(parse(&argv("query x --category")).is_err());
+        assert!(parse(&argv("query x --threads 0")).is_err());
+        assert!(parse(&argv("query x --bogus")).is_err());
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! Command implementations. Each returns a process exit code.
 
 use btrace_analysis::{diagnose, gap_map, GapMapOptions, Table, TraceAnalysis, TracePartial};
+use btrace_atrace::Category;
 use btrace_baselines::{Bbq, PerCoreDropNewest, PerCoreOverwrite, PerThread};
 use btrace_core::sink::CollectedEvent;
 use btrace_core::{BTrace, Backing, Config, FaultPlan};
 use btrace_persist::{
-    analyze_frames, encode_stream, AnalyzeOptions, Backpressure, FileFrameSink, FrameSink,
-    JsonlExporter, NullFrameSink, ParallelAnalysis, PipelineConfig, PrometheusExporter,
-    StreamPipeline, TraceDump,
+    analyze_frames, analyze_frames_with, encode_stream, AnalyzeOptions, Backpressure,
+    FileFrameSink, FrameSink, JsonlExporter, NullFrameSink, ParallelAnalysis, PipelineConfig,
+    Predicate, PrometheusExporter, Query, StreamPipeline, TraceDump, TraceStore,
 };
 use btrace_replay::{scenarios, ReplayConfig, ReplayReport, Replayer};
 use btrace_telemetry::{
@@ -275,6 +276,142 @@ fn print_parallel_analysis(out: &ParallelAnalysis) {
         println!("retention gap map (old -> new):");
         println!("|{map}|");
     }
+}
+
+/// Resolves a `--category` argument: a catalog label (`sched`), or a raw
+/// bitmask (`0x4` / `4`).
+fn parse_category(arg: &str) -> Result<Category, String> {
+    for &(cat, label, _) in Category::catalog() {
+        if label.eq_ignore_ascii_case(arg) {
+            return Ok(cat);
+        }
+    }
+    let bits = match arg.strip_prefix("0x") {
+        Some(hex) => u32::from_str_radix(hex, 16).ok(),
+        None => arg.parse().ok(),
+    };
+    let cat = bits.map(Category::from_bits).unwrap_or(Category::NONE);
+    if cat.is_empty() {
+        let names: Vec<&str> = Category::catalog().iter().map(|&(_, l, _)| l).collect();
+        return Err(format!("unknown category {arg}; known: {}", names.join(", ")));
+    }
+    Ok(cat)
+}
+
+/// `btrace query`
+#[allow(clippy::too_many_arguments)] // mirrors the option surface 1:1
+pub fn query(
+    file: &str,
+    since: Option<u64>,
+    until: Option<u64>,
+    cores: &[u16],
+    category: Option<&str>,
+    threads: usize,
+    metrics: bool,
+    map: bool,
+    json: bool,
+) -> i32 {
+    let category = match category.map(parse_category).transpose() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let predicate = Predicate { since, until, cores: cores.to_vec(), category };
+    // A BTSF frame stream opens through the mmap-backed store directly; a
+    // .btd dump is re-framed in memory so both formats answer queries.
+    let head = {
+        let mut magic = [0u8; 4];
+        use std::io::Read;
+        std::fs::File::open(file).and_then(|mut f| f.read_exact(&mut magic)).map(|()| magic)
+    };
+    let store = match head {
+        Ok(magic) if &magic == b"BTSF" => match TraceStore::open(Path::new(file)) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("error: cannot open {file}: {e}");
+                return 1;
+            }
+        },
+        Ok(_) => match TraceDump::read_from(Path::new(file)) {
+            Ok(dump) => TraceStore::from_bytes(encode_stream(dump.events(), 512)),
+            Err(e) => {
+                eprintln!("error: {file} is neither a BTSF stream nor a trace dump: {e}");
+                return 1;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return 1;
+        }
+    };
+    let mut q = Query::new(predicate.clone());
+    let mut report = q.run(&store);
+    if map && !report.state.is_empty() {
+        // Second pass with the window sized to the matched stamp range.
+        let window = report.state.last_stamp - report.state.first_stamp + 1;
+        q.options.gap_map = Some(GapMapOptions { window, width: 72 });
+        report = q.run(&store);
+    }
+    if threads > 1 {
+        // The pruned fragment-parallel analyzer shares the query's plan;
+        // cross-check the two paths like `replay --threads` does.
+        let opts = AnalyzeOptions { threads, gap_map: q.options.gap_map, ..Default::default() };
+        match analyze_frames_with(store.bytes(), &opts, Some(&predicate)) {
+            Ok(par) => {
+                let agree = par.analysis == report.analysis
+                    && par.state == report.state
+                    && par.gap_map == report.gap_map;
+                if !agree {
+                    eprintln!("error: fragment-parallel query DIVERGES from the store query");
+                    return 1;
+                }
+            }
+            Err(e) => {
+                // The store query tolerates per-frame corruption; the strict
+                // parallel path refuses it. Not a divergence.
+                eprintln!("note: fragment-parallel cross-check skipped: {e}");
+            }
+        }
+    }
+    if json {
+        let mut line = String::from("{");
+        line.push_str(&format!("\"file\":\"{}\"", file.escape_default()));
+        line.push_str(&format!(",\"frames\":{}", report.frames_total));
+        line.push_str(&format!(",\"frames_decoded\":{}", report.frames_decoded));
+        line.push_str(&format!(",\"frames_pruned\":{}", report.frames_pruned));
+        line.push_str(&format!(",\"matched_events\":{}", report.matched_events));
+        match report.newest_stamp {
+            Some(s) => line.push_str(&format!(",\"newest_stamp\":{s}")),
+            None => line.push_str(",\"newest_stamp\":null"),
+        }
+        line.push_str(&format!(",\"defects\":{}", report.defects.len()));
+        line.push_str(&format!(",\"payload_bytes\":{}", report.state.bytes));
+        line.push('}');
+        println!("{line}");
+    } else {
+        println!(
+            "frames              {} ({} decoded, {} pruned by the index)",
+            report.frames_total, report.frames_decoded, report.frames_pruned
+        );
+        println!("matched events      {}", report.matched_events);
+        if let Some(newest) = report.newest_stamp {
+            println!("newest stamp        {newest}");
+        }
+        for defect in &report.defects {
+            println!("frame defect: {defect}");
+        }
+        if metrics {
+            println!();
+            print_trace_analysis(&report.analysis, None);
+        }
+        if let Some(gap) = &report.gap_map {
+            println!("retention gap map (old -> new):");
+            println!("|{gap}|");
+        }
+    }
+    i32::from(!report.defects.is_empty())
 }
 
 /// `btrace dump`

@@ -7,6 +7,7 @@
 //! btrace dump --scenario Video-1 --out trace.btd [--scale 0.1]
 //! btrace inspect trace.btd [--map]
 //! btrace analyze frames.btsf --threads 4 [--fragments 16] [--map]
+//! btrace query frames.btsf --since 1000 --until 9000 --core 2 [--category sched]
 //! btrace stream --duration-ms 2000 [--out frames.btsf] [--policy block|drop]
 //! ```
 
@@ -27,6 +28,19 @@ fn main() {
         Ok(Command::Inspect { file, map }) => commands::inspect(&file, map),
         Ok(Command::Analyze { file, threads, fragments, map }) => {
             commands::analyze(&file, threads, fragments, map)
+        }
+        Ok(Command::Query { file, since, until, cores, category, threads, metrics, map, json }) => {
+            commands::query(
+                &file,
+                since,
+                until,
+                &cores,
+                category.as_deref(),
+                threads,
+                metrics,
+                map,
+                json,
+            )
         }
         Ok(Command::Stat { json, duration_ms, jsonl, prom }) => {
             commands::stat(json, duration_ms, jsonl.as_deref(), prom.as_deref())

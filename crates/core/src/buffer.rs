@@ -463,6 +463,17 @@ impl BTrace {
         crate::Consumer::new(Arc::clone(&self.shared))
     }
 
+    /// Snapshot of the tracer's epoch-reclamation counters
+    /// ([`DomainStats`](btrace_smr::DomainStats)).
+    ///
+    /// `grace_timeouts` counts shrinks whose consumer grace period expired
+    /// with a reader still pinned; each one deferred physical reclaim (the
+    /// [`Degraded::RECLAIM_DEFERRED`](crate::Degraded) path) instead of
+    /// stalling the resize unboundedly.
+    pub fn smr_stats(&self) -> btrace_smr::DomainStats {
+        self.shared.domain.stats()
+    }
+
     /// Returns an incremental reader that yields each event exactly once
     /// across polls — the access pattern of an asynchronous collector
     /// daemon (§2.1).

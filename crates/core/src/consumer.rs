@@ -97,6 +97,27 @@ impl Consumer {
         close_current_blocks(&self.shared);
         readout
     }
+
+    /// Explicitly pins this consumer in the tracer's reclamation domain for
+    /// the lifetime of the returned guard.
+    ///
+    /// [`Consumer::collect`] pins per call; this is for long-running readers
+    /// (e.g. a query walking a large readout) that need the buffer to stay
+    /// mapped across many operations. A shrink racing the pin defers physical
+    /// reclaim after a *bounded* grace period (see
+    /// [`BTrace::smr_stats`](crate::BTrace::smr_stats)) rather than waiting
+    /// for the guard — so holding one indefinitely degrades reclamation, it
+    /// never wedges the resize path.
+    pub fn pin(&self) -> ReaderPin<'_> {
+        ReaderPin { _guard: self.participant.pin() }
+    }
+}
+
+/// RAII epoch pin returned by [`Consumer::pin`].
+#[must_use = "dropping the pin immediately releases the epoch"]
+#[derive(Debug)]
+pub struct ReaderPin<'a> {
+    _guard: btrace_smr::Guard<'a>,
 }
 
 /// Closes every core's current block by dummy-filling its remaining space

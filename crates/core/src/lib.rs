@@ -70,7 +70,7 @@ mod telem;
 
 pub use buffer::BTrace;
 pub use config::Config;
-pub use consumer::{BlockCounts, Consumer, Readout};
+pub use consumer::{BlockCounts, Consumer, ReaderPin, Readout};
 pub use error::TraceError;
 pub use event::Event;
 pub use producer::{Grant, Producer};
@@ -82,4 +82,5 @@ pub use tail::{Polled, TailReader};
 
 // Re-exported so downstream crates can configure memory backing and
 // fault injection without depending on the substrate crate directly.
+pub use btrace_smr::DomainStats;
 pub use btrace_vmem::{Backing, FaultPlan, FaultStats};

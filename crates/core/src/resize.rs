@@ -46,6 +46,14 @@ const BACKING_BACKOFF: Duration = Duration::from_micros(50);
 #[cfg(feature = "telemetry")]
 const EBR_STALL_NS: u64 = 10_000_000;
 
+/// Upper bound on the consumer grace period a shrink will wait before
+/// deferring physical reclaim. A reader stalled while pinned (long query,
+/// preempted thread, debugger stop) therefore costs a shrink at most this
+/// long; the decommit is deferred exactly like a failed backing op —
+/// `committed_extent` stays at the high-water mark, `RECLAIM_DEFERRED` is
+/// raised, and a later shrink retries once the reader unpins.
+const EBR_GRACE_DEADLINE: Duration = Duration::from_millis(100);
+
 /// Runs a backing commit/decommit with bounded exponential backoff. Every
 /// failed attempt bumps `commit_failures` (so the counter equals the number
 /// of injected faults observed, attempt by attempt).
@@ -291,53 +299,65 @@ impl BTrace {
             let target = shared.domain.advance();
             #[cfg(feature = "telemetry")]
             let (grace_t0, mut stall_reported) = (Instant::now(), false);
-            while !shared.domain.sweep_quiescent_at(target) {
-                #[cfg(feature = "telemetry")]
-                {
-                    let waited = grace_t0.elapsed().as_nanos() as u64;
-                    if !stall_reported && waited >= EBR_STALL_NS {
-                        stall_reported = true;
-                        shared.telem.control(btrace_telemetry::EventKind::EbrStall, waited, target);
-                    }
-                }
-                crate::sync::spin_hint();
-            }
-            if new_extent < old_extent {
-                let region = shared.data.region();
-                match retry_backing_op(shared, || {
-                    region.decommit(new_extent, old_extent - new_extent)
-                }) {
-                    Ok(()) => {
-                        shared.committed_extent.store(new_extent, Ordering::Release);
-                        #[cfg(feature = "telemetry")]
-                        let was_deferred =
-                            shared.counters.degraded_bits() & degraded::RECLAIM_DEFERRED != 0;
-                        shared.counters.clear_degraded(degraded::RECLAIM_DEFERRED);
-                        #[cfg(feature = "telemetry")]
-                        if was_deferred {
+            let quiesced = shared.domain.wait_quiescent_bounded(
+                target,
+                Instant::now() + EBR_GRACE_DEADLINE,
+                || {
+                    #[cfg(feature = "telemetry")]
+                    {
+                        let waited = grace_t0.elapsed().as_nanos() as u64;
+                        if !stall_reported && waited >= EBR_STALL_NS {
+                            stall_reported = true;
                             shared.telem.control(
-                                btrace_telemetry::EventKind::StateClear,
-                                degraded::RECLAIM_DEFERRED,
-                                shared.counters.degraded_bits(),
+                                btrace_telemetry::EventKind::EbrStall,
+                                waited,
+                                target,
                             );
                         }
                     }
-                    Err(_) => {
-                        // The shrink already took effect logically (ratio,
-                        // capacity, floor, drain) — only physical reclaim
-                        // failed. Keep `committed_extent` at the old
-                        // high-water mark so the next resize whose extent
-                        // drops below it retries this decommit, and report
-                        // the deferral instead of failing a shrink that
-                        // producers already observe.
-                        shared.counters.set_degraded(degraded::RECLAIM_DEFERRED);
-                        #[cfg(feature = "telemetry")]
+                    crate::sync::spin_hint();
+                },
+            );
+            if new_extent < old_extent {
+                let region = shared.data.region();
+                // Decommit only behind a completed grace period: a timed-out
+                // wait means some reader may still range into the doomed
+                // blocks, so the pages must stay committed.
+                let reclaimed = quiesced
+                    && retry_backing_op(shared, || {
+                        region.decommit(new_extent, old_extent - new_extent)
+                    })
+                    .is_ok();
+                if reclaimed {
+                    shared.committed_extent.store(new_extent, Ordering::Release);
+                    #[cfg(feature = "telemetry")]
+                    let was_deferred =
+                        shared.counters.degraded_bits() & degraded::RECLAIM_DEFERRED != 0;
+                    shared.counters.clear_degraded(degraded::RECLAIM_DEFERRED);
+                    #[cfg(feature = "telemetry")]
+                    if was_deferred {
                         shared.telem.control(
-                            btrace_telemetry::EventKind::StateSet,
+                            btrace_telemetry::EventKind::StateClear,
                             degraded::RECLAIM_DEFERRED,
                             shared.counters.degraded_bits(),
                         );
                     }
+                } else {
+                    // The shrink already took effect logically (ratio,
+                    // capacity, floor, drain) — only physical reclaim is
+                    // pending, either because the backing op failed or
+                    // because a pinned reader outlived the bounded grace
+                    // period. Keep `committed_extent` at the old high-water
+                    // mark so the next resize whose extent drops below it
+                    // retries this decommit, and report the deferral instead
+                    // of failing a shrink that producers already observe.
+                    shared.counters.set_degraded(degraded::RECLAIM_DEFERRED);
+                    #[cfg(feature = "telemetry")]
+                    shared.telem.control(
+                        btrace_telemetry::EventKind::StateSet,
+                        degraded::RECLAIM_DEFERRED,
+                        shared.counters.degraded_bits(),
+                    );
                 }
             }
         }

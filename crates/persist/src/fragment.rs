@@ -15,7 +15,7 @@ use std::ops::Range;
 use btrace_core::sink::FullEvent;
 
 use crate::stream::{FOOTER_BYTES, FOOTER_MAGIC};
-use crate::{decode_frames, encode_frame, StreamFrame};
+use crate::{decode_frames, StreamFrame};
 
 /// The decoded per-frame index footer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +43,11 @@ pub struct FrameInfo {
     pub len: usize,
     /// Frame sequence number.
     pub seq: u64,
-    /// Event count from the frame header.
+    /// Event count from the frame header (version flag masked off).
     pub events: u32,
+    /// Whether the event section is delta/varint compressed (revision 2,
+    /// flagged by [`FRAME_FLAG_COMPRESSED`](crate::stream) in the header).
+    pub compressed: bool,
     /// Index footer, when the frame carries one.
     pub index: Option<FrameIndex>,
 }
@@ -76,19 +79,25 @@ pub fn scan_frames(bytes: &[u8]) -> io::Result<Vec<FrameInfo>> {
         }
         let len = 8 + body_len;
         let seq = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
-        let events = u32::from_le_bytes(rest[16..20].try_into().expect("4 bytes"));
-        let index = probe_footer(&rest[..len], events);
-        infos.push(FrameInfo { offset, len, seq, events, index });
+        let raw_count = u32::from_le_bytes(rest[16..20].try_into().expect("4 bytes"));
+        let compressed = raw_count & crate::stream::FRAME_FLAG_COMPRESSED != 0;
+        let events = raw_count & !crate::stream::FRAME_FLAG_COMPRESSED;
+        let index = probe_footer(&rest[..len], events, compressed);
+        infos.push(FrameInfo { offset, len, seq, events, compressed, index });
         offset += len;
     }
     Ok(infos)
 }
 
 /// Parses the index footer at its fixed tail offset, validating it against
-/// the frame header (magic, event count, and the body-length arithmetic
-/// `12 + 18·count + payload_bytes + footer + crc == body_len`). Returns
-/// `None` for legacy footer-less frames.
-fn probe_footer(frame: &[u8], header_count: u32) -> Option<FrameIndex> {
+/// the frame header (magic, event count, and — for plain frames — the
+/// body-length arithmetic `12 + 18·count + payload_bytes + footer + crc ==
+/// body_len`). Returns `None` for legacy footer-less frames.
+pub(crate) fn probe_footer(
+    frame: &[u8],
+    header_count: u32,
+    compressed: bool,
+) -> Option<FrameIndex> {
     // magic(4) + body_len(4) + seq(8) + count(4) + footer + crc(8)
     if frame.len() < 8 + 12 + FOOTER_BYTES + 8 {
         return None;
@@ -107,11 +116,16 @@ fn probe_footer(frame: &[u8], header_count: u32) -> Option<FrameIndex> {
     }
     // A legacy frame whose last event bytes merely *look* like a footer
     // cannot also satisfy the length equation, because the pseudo-footer's
-    // 40 bytes would then be counted twice.
-    let expected_len =
-        8 + 12 + 18 * event_count as usize + payload_bytes as usize + FOOTER_BYTES + 8;
-    if expected_len != frame.len() {
-        return None;
+    // 40 bytes would then be counted twice. Compressed frames have no fixed
+    // per-event width for such an equation — and need none: the version bit
+    // only exists in revision-2 writers, which always emit a real footer, so
+    // the tail 40 bytes are unambiguous.
+    if !compressed {
+        let expected_len =
+            8 + 12 + 18 * event_count as usize + payload_bytes as usize + FOOTER_BYTES + 8;
+        if expected_len != frame.len() {
+            return None;
+        }
     }
     Some(FrameIndex { min_stamp, max_stamp, core_bitmap, event_count, payload_bytes })
 }
@@ -270,10 +284,20 @@ pub fn split_fragments(infos: &[FrameInfo], parts: usize) -> Vec<FragmentContext
 /// frames (seq starting at 0) — the bridge from `.btd` dumps and in-memory
 /// drains into the fragment pipeline.
 pub fn encode_stream(events: &[FullEvent], events_per_frame: usize) -> Vec<u8> {
+    encode_stream_with(events, events_per_frame, crate::FrameEncoding::Plain)
+}
+
+/// [`encode_stream`] with an explicit frame encoding (see
+/// [`encode_frame_with`](crate::encode_frame_with)).
+pub fn encode_stream_with(
+    events: &[FullEvent],
+    events_per_frame: usize,
+    encoding: crate::FrameEncoding,
+) -> Vec<u8> {
     let per = events_per_frame.max(1);
     let mut out = Vec::new();
     for (seq, chunk) in events.chunks(per).enumerate() {
-        out.extend_from_slice(&encode_frame(seq as u64, chunk));
+        out.extend_from_slice(&crate::encode_frame_with(seq as u64, chunk, encoding));
     }
     out
 }
@@ -281,6 +305,7 @@ pub fn encode_stream(events: &[FullEvent], events_per_frame: usize) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::encode_frame;
 
     fn ev(stamp: u64, core: u16, payload: usize) -> FullEvent {
         FullEvent { stamp, core, tid: 100 + core as u32, payload: vec![0x5A; payload] }

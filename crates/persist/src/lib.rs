@@ -46,17 +46,25 @@ mod dump;
 mod export;
 mod fragment;
 mod parallel;
+mod query;
+mod store;
 mod stream;
 
 pub use collector::{Collector, CollectorConfig};
 pub use dump::{DumpError, TraceDump};
 pub use export::{read_jsonl, JsonlExporter, PrometheusExporter, RetryPolicy};
 pub use fragment::{
-    encode_stream, scan_frames, split_fragments, FragmentContext, FragmentSeed, FrameIndex,
-    FrameInfo,
+    encode_stream, encode_stream_with, scan_frames, split_fragments, FragmentContext, FragmentSeed,
+    FrameIndex, FrameInfo,
 };
-pub use parallel::{analyze_file, analyze_frames, AnalyzeOptions, FragmentWork, ParallelAnalysis};
+pub use parallel::{
+    analyze_file, analyze_frames, analyze_frames_with, AnalyzeOptions, FragmentWork,
+    ParallelAnalysis,
+};
+pub use query::{Predicate, Query, QueryOptions, QueryReport};
+pub use store::{DefectKind, FrameDefect, StoreFrame, TraceStore};
 pub use stream::{
-    decode_frames, encode_frame, read_frames, Backpressure, FileFrameSink, FrameSink,
-    NullFrameSink, PipelineConfig, PipelineStats, StreamFrame, StreamPipeline,
+    decode_frames, encode_frame, encode_frame_with, read_frames, Backpressure, FileFrameSink,
+    FrameEncoding, FrameSink, NullFrameSink, PipelineConfig, PipelineStats, StreamFrame,
+    StreamPipeline,
 };

@@ -20,6 +20,7 @@ use btrace_core::sink::CollectedEvent;
 use btrace_replay::{check_handoff, BoundaryDefect, BoundaryExpectation, TraceState};
 
 use crate::fragment::{scan_frames, split_fragments, FragmentContext};
+use crate::query::Predicate;
 
 /// Tuning for [`analyze_frames`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,6 +85,9 @@ pub struct ParallelAnalysis {
     pub frames: usize,
     /// Frames without an index footer (legacy).
     pub legacy_frames: usize,
+    /// Fragments skipped because no frame footer could match the predicate
+    /// (always 0 for an unrestricted analysis).
+    pub fragments_pruned: usize,
     /// Largest stamp seen, if any event decoded.
     pub newest_stamp: Option<u64>,
 }
@@ -104,40 +108,79 @@ struct FragmentPartial {
 /// [`io::ErrorKind::InvalidData`] on structural corruption (bad magic,
 /// truncation, checksum mismatch in any fragment).
 pub fn analyze_frames(bytes: &[u8], opts: &AnalyzeOptions) -> io::Result<ParallelAnalysis> {
+    analyze_frames_with(bytes, opts, None)
+}
+
+/// [`analyze_frames`] restricted to a [`Predicate`]: fragments whose frame
+/// footers prove they cannot hold a matching event are never decoded, and
+/// surviving fragments filter events by the exact predicate before mapping —
+/// the same two-stage plan [`Query`](crate::Query) runs over a
+/// [`TraceStore`](crate::TraceStore), so both paths produce identical
+/// metrics for the same predicate.
+///
+/// Under a predicate the boundary hand-off check is skipped (its
+/// expectations describe the *full* stream, which a restricted decode by
+/// design does not reproduce), so `defects` is always empty.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on structural corruption (bad magic,
+/// truncation, checksum mismatch in any decoded fragment).
+pub fn analyze_frames_with(
+    bytes: &[u8],
+    opts: &AnalyzeOptions,
+    predicate: Option<&Predicate>,
+) -> io::Result<ParallelAnalysis> {
     let infos = scan_frames(bytes)?;
     let legacy_frames = infos.iter().filter(|f| f.index.is_none()).count();
     let threads = opts.threads.max(1);
     let parts = if opts.fragments == 0 { threads } else { opts.fragments };
-    let fragments = split_fragments(&infos, parts);
+    let mut fragments = split_fragments(&infos, parts);
+    let unpruned = fragments.len();
+    if let Some(pred) = predicate {
+        // A fragment survives if ANY of its frames may hold a match; the
+        // footer test is conservative, so no matching event is ever lost.
+        fragments.retain(|frag| infos[frag.frames.clone()].iter().any(|f| pred.admits_info(f)));
+    }
+    let fragments_pruned = unpruned - fragments.len();
 
     // The gap map window must be anchored before the map phase; the frame
     // index supplies the newest stamp in O(frames) when every frame carries
-    // a footer. Without full indexing the map is rendered after the merge
-    // from the (identical) merged stamp set.
-    let indexed_newest: Option<u64> = if legacy_frames == 0 {
+    // a footer. Without full indexing — or under a predicate, where the
+    // footer-anchored newest may be filtered out — the map is rendered
+    // after the merge from the (identical) merged stamp set.
+    let indexed_newest: Option<u64> = if legacy_frames == 0 && predicate.is_none() {
         infos.iter().filter(|f| f.events > 0).filter_map(|f| f.index).map(|i| i.max_stamp).max()
     } else {
         None
     };
     let parallel_gap = opts.gap_map.zip(indexed_newest);
 
-    let mapped: Vec<io::Result<FragmentPartial>> =
-        map_reduce(&fragments, threads, |_, frag| map_fragment(frag, bytes, parallel_gap));
+    let mapped: Vec<io::Result<FragmentPartial>> = map_reduce(&fragments, threads, |_, frag| {
+        map_fragment(frag, bytes, parallel_gap, predicate)
+    });
     let mut partials = Vec::with_capacity(mapped.len());
     for m in mapped {
         partials.push(m?);
     }
 
-    let expectations: Vec<BoundaryExpectation> = fragments
-        .iter()
-        .map(|f| BoundaryExpectation {
-            fragment: f.index,
-            events_before: f.seed.events_before,
-            bytes_before: f.seed.payload_bytes_before,
-            max_stamp_before: f.seed.max_stamp_before,
-            core_bitmap_before: f.seed.core_bitmap_before,
-        })
-        .collect();
+    // The hand-off expectations promise what the full stream holds before
+    // each fragment; a predicate-restricted decode intentionally sees less,
+    // so the check only runs unrestricted.
+    let expectations: Vec<BoundaryExpectation> = if predicate.is_some() {
+        Vec::new()
+    } else {
+        fragments
+            .iter()
+            .map(|f| BoundaryExpectation {
+                fragment: f.index,
+                events_before: f.seed.events_before,
+                bytes_before: f.seed.payload_bytes_before,
+                max_stamp_before: f.seed.max_stamp_before,
+                core_bitmap_before: f.seed.core_bitmap_before,
+            })
+            .collect()
+    };
 
     let mut work = Vec::with_capacity(partials.len());
     let mut per_fragment_state = Vec::with_capacity(partials.len());
@@ -151,7 +194,11 @@ pub fn analyze_frames(bytes: &[u8], opts: &AnalyzeOptions) -> io::Result<Paralle
             gap_parts.push(g);
         }
     }
-    let defects = check_handoff(&per_fragment_state, &expectations);
+    let defects = if predicate.is_some() {
+        Vec::new()
+    } else {
+        check_handoff(&per_fragment_state, &expectations)
+    };
     let state =
         fold_merge(per_fragment_state.clone(), TraceState::merge).unwrap_or_else(TraceState::empty);
     let merged = fold_merge(trace_parts, TracePartial::merge).unwrap_or_default();
@@ -175,6 +222,7 @@ pub fn analyze_frames(bytes: &[u8], opts: &AnalyzeOptions) -> io::Result<Paralle
         threads,
         frames: infos.len(),
         legacy_frames,
+        fragments_pruned,
         newest_stamp,
     })
 }
@@ -193,6 +241,7 @@ fn map_fragment(
     frag: &FragmentContext,
     stream: &[u8],
     gap: Option<(GapMapOptions, u64)>,
+    predicate: Option<&Predicate>,
 ) -> io::Result<FragmentPartial> {
     let t0 = Instant::now();
     let frames = frag.decode(stream)?;
@@ -200,6 +249,11 @@ fn map_fragment(
     let mut state = TraceState::empty();
     for frame in &frames {
         for e in &frame.events {
+            if let Some(pred) = predicate {
+                if !pred.admits_event(e) {
+                    continue;
+                }
+            }
             events.push(CollectedEvent {
                 stamp: e.stamp,
                 core: e.core,
@@ -325,6 +379,53 @@ mod tests {
             (max - min) as f64 <= 0.2 * max as f64,
             "uniform stream must split within 20%: max {max} min {min}"
         );
+    }
+
+    #[test]
+    fn predicate_pruning_matches_the_store_query_path() {
+        use crate::{FrameEncoding, Query, QueryOptions, TraceStore};
+        let evs = events(2500);
+        for encoding in [FrameEncoding::Plain, FrameEncoding::Compressed] {
+            let stream = crate::fragment::encode_stream_with(&evs, 100, encoding);
+            let predicate = Predicate {
+                since: Some(400),
+                until: Some(1700),
+                cores: vec![0, 2, 5],
+                ..Default::default()
+            };
+            let gap = GapMapOptions { window: 1000, width: 30 };
+            let opts = AnalyzeOptions {
+                threads: 3,
+                fragments: 8,
+                capacity_bytes: 1 << 16,
+                gap_map: Some(gap),
+                ..Default::default()
+            };
+            let pruned = analyze_frames_with(&stream, &opts, Some(&predicate)).unwrap();
+            assert!(pruned.fragments_pruned > 0, "time slice must prune whole fragments");
+            assert!(pruned.defects.is_empty(), "hand-off check is skipped under a predicate");
+
+            let store = TraceStore::from_bytes(stream);
+            let q = Query {
+                predicate: predicate.clone(),
+                options: QueryOptions {
+                    capacity_bytes: 1 << 16,
+                    gap_map: Some(gap),
+                    ..Default::default()
+                },
+            };
+            let report = q.run(&store);
+            assert_eq!(pruned.analysis, report.analysis);
+            assert_eq!(pruned.state, report.state);
+            assert_eq!(pruned.gap_map, report.gap_map);
+            assert_eq!(pruned.newest_stamp, report.newest_stamp);
+
+            // And both equal the linear full-decode-then-filter oracle.
+            let matched: Vec<FullEvent> =
+                evs.iter().filter(|e| predicate.admits_event(e)).cloned().collect();
+            let c = collected(&matched);
+            assert_eq!(pruned.analysis, TracePartial::map(&c).finish(1 << 16, 8));
+        }
     }
 
     #[test]

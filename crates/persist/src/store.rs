@@ -1,0 +1,347 @@
+//! Random-access trace store over BTSF files.
+//!
+//! [`TraceStore`] opens a frame file through a read-only memory map
+//! ([`btrace_vmem::FileMap`]) and builds a **frame directory** in O(frames):
+//! offsets, lengths, header fields, and the `FIDX` footer of every frame —
+//! no event is decoded and no checksum verified until a query actually
+//! touches a frame. The directory is what lets predicates prune: a frame
+//! whose footer proves it cannot contribute is never faulted in.
+//!
+//! Corruption is a *per-frame* fact here, never a process-wide one:
+//!
+//! * structural damage (bad magic, a length header pointing outside the
+//!   file, a truncated tail) is recorded as a [`FrameDefect`] during the
+//!   directory scan, and the scanner resyncs on the next checksummed frame
+//!   so intact frames beyond the damage stay queryable;
+//! * content damage (checksum mismatch, body overrun, footer lies) is
+//!   caught when [`TraceStore::decode_frame`] verifies the frame, again as
+//!   a typed defect for that frame only.
+//!
+//! Nothing in this module panics on hostile bytes — the corruption battery
+//! in `tests/query.rs` flips bits everywhere and asserts exactly that.
+
+use std::io;
+use std::path::Path;
+
+use btrace_core::sink::FullEvent;
+use btrace_vmem::FileMap;
+
+use crate::fragment::FrameIndex;
+use crate::stream::{
+    decode_events, fnv, FOOTER_BYTES, FOOTER_MAGIC, FRAME_FLAG_COMPRESSED, FRAME_MAGIC,
+};
+
+/// What kind of damage a [`FrameDefect`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DefectKind {
+    /// Bytes at the expected frame boundary do not start with `BTSF`.
+    BadMagic,
+    /// The length header points outside the file, or the file ends inside
+    /// a frame (mid-frame / mid-footer truncation).
+    Truncated,
+    /// The frame's FNV checksum does not cover its bytes.
+    ChecksumMismatch,
+    /// The declared events do not tile the body (overrun or trailing junk
+    /// that is not a footer).
+    BodyOverrun,
+    /// The footer disagrees with the frame (count mismatch, bad magic at
+    /// the footer offset of a revision-2 frame, or a missing mandatory
+    /// footer).
+    FooterMismatch,
+}
+
+/// One frame's damage report. Produced either by the directory scan
+/// (structural) or by [`TraceStore::decode_frame`] (content).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct FrameDefect {
+    /// Directory position the defect applies to (for structural damage:
+    /// the position the next frame would have had).
+    pub frame: usize,
+    /// Byte offset in the file where the damage was detected.
+    pub offset: usize,
+    /// Damage classification.
+    pub kind: DefectKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for FrameDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame {} at offset {}: {:?} ({})",
+            self.frame, self.offset, self.kind, self.detail
+        )
+    }
+}
+
+/// One directory entry: where a frame lives and what its header and footer
+/// promise, gathered without decoding events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StoreFrame {
+    /// Byte offset of the frame start.
+    pub offset: usize,
+    /// Whole frame length (magic through crc).
+    pub len: usize,
+    /// Frame sequence number.
+    pub seq: u64,
+    /// Event count (version flag masked off).
+    pub events: u32,
+    /// Whether the event section is delta/varint compressed (revision 2).
+    pub compressed: bool,
+    /// Index footer, when present and self-consistent.
+    pub index: Option<FrameIndex>,
+}
+
+/// Random-access, defect-tolerant reader over one BTSF artifact.
+#[derive(Debug)]
+pub struct TraceStore {
+    map: FileMap,
+    frames: Vec<StoreFrame>,
+    defects: Vec<FrameDefect>,
+}
+
+impl TraceStore {
+    /// Memory-maps `path` and builds the frame directory.
+    ///
+    /// Corrupt regions become [`FrameDefect`]s, not errors — the only
+    /// errors here are real I/O failures opening the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `FileMap::open` failures (missing file, permissions).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::from_map(FileMap::open(path.as_ref())?))
+    }
+
+    /// Builds a store over an in-memory stream (tests, re-framed `.btd`
+    /// dumps).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Self::from_map(FileMap::from_vec(bytes))
+    }
+
+    fn from_map(map: FileMap) -> Self {
+        let (frames, defects) = scan_directory(map.bytes());
+        Self { map, frames, defects }
+    }
+
+    /// The underlying file bytes.
+    pub fn bytes(&self) -> &[u8] {
+        self.map.bytes()
+    }
+
+    /// The frame directory, in file order.
+    pub fn frames(&self) -> &[StoreFrame] {
+        &self.frames
+    }
+
+    /// Structural defects found while building the directory (content
+    /// defects surface per frame from [`TraceStore::decode_frame`]).
+    pub fn defects(&self) -> &[FrameDefect] {
+        &self.defects
+    }
+
+    /// Sum of header event counts across the directory.
+    pub fn total_events(&self) -> u64 {
+        self.frames.iter().map(|f| f.events as u64).sum()
+    }
+
+    /// Fully decodes directory entry `idx`: checksum first, then the event
+    /// section, then footer consistency. Every failure mode is a typed
+    /// [`FrameDefect`] scoped to this frame.
+    ///
+    /// # Errors
+    ///
+    /// The defect describing why this frame's bytes cannot be trusted.
+    pub fn decode_frame(&self, idx: usize) -> Result<Vec<FullEvent>, FrameDefect> {
+        let entry = &self.frames[idx];
+        let bytes = self.map.bytes();
+        let frame = &bytes[entry.offset..entry.offset + entry.len];
+        let defect = |kind: DefectKind, detail: &str| FrameDefect {
+            frame: idx,
+            offset: entry.offset,
+            kind,
+            detail: detail.to_string(),
+        };
+        let crc_stored = u64::from_le_bytes(frame[entry.len - 8..].try_into().expect("8 bytes"));
+        if fnv(&frame[..entry.len - 8]) != crc_stored {
+            return Err(defect(DefectKind::ChecksumMismatch, "frame checksum mismatch"));
+        }
+        let mut r = &frame[20..entry.len - 8];
+        let events = decode_events(&mut r, entry.events as usize, entry.compressed)
+            .map_err(|e| defect(DefectKind::BodyOverrun, &e.to_string()))?;
+        if entry.compressed && r.is_empty() {
+            return Err(defect(DefectKind::FooterMismatch, "compressed frame missing footer"));
+        }
+        if !r.is_empty() {
+            if r.len() != FOOTER_BYTES || &r[..4] != FOOTER_MAGIC {
+                return Err(defect(DefectKind::BodyOverrun, "frame body overrun"));
+            }
+            let footer_count = u32::from_le_bytes(r[28..32].try_into().expect("4 bytes"));
+            if footer_count != entry.events {
+                return Err(defect(DefectKind::FooterMismatch, "frame footer count mismatch"));
+            }
+        }
+        Ok(events)
+    }
+}
+
+/// Tolerant O(frames) directory scan: structural damage is recorded and
+/// skipped by resyncing on the next frame whose checksum proves it real.
+fn scan_directory(bytes: &[u8]) -> (Vec<StoreFrame>, Vec<FrameDefect>) {
+    let mut frames = Vec::new();
+    let mut defects = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        match probe_frame(bytes, offset) {
+            Ok(entry) => {
+                let len = entry.len;
+                frames.push(entry);
+                offset += len;
+            }
+            Err((kind, detail)) => {
+                defects.push(FrameDefect {
+                    frame: frames.len(),
+                    offset,
+                    kind,
+                    detail: detail.to_string(),
+                });
+                match resync(bytes, offset + 1) {
+                    Some(next) => offset = next,
+                    None => break,
+                }
+            }
+        }
+    }
+    (frames, defects)
+}
+
+/// Reads one frame's directory entry at `offset`, structurally validating
+/// the header (magic + length) but not the contents.
+fn probe_frame(bytes: &[u8], offset: usize) -> Result<StoreFrame, (DefectKind, &'static str)> {
+    let rest = &bytes[offset..];
+    if rest.len() < 8 {
+        return Err((DefectKind::Truncated, "file ends inside a frame header"));
+    }
+    if &rest[..4] != FRAME_MAGIC {
+        return Err((DefectKind::BadMagic, "bad frame magic"));
+    }
+    let body_len = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes")) as usize;
+    if body_len < 20 {
+        return Err((DefectKind::Truncated, "frame shorter than its fixed fields"));
+    }
+    if rest.len() < 8 + body_len {
+        return Err((DefectKind::Truncated, "length header points past end of file"));
+    }
+    let len = 8 + body_len;
+    let seq = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
+    let raw_count = u32::from_le_bytes(rest[16..20].try_into().expect("4 bytes"));
+    let compressed = raw_count & FRAME_FLAG_COMPRESSED != 0;
+    let events = raw_count & !FRAME_FLAG_COMPRESSED;
+    let index = crate::fragment::probe_footer(&rest[..len], events, compressed);
+    Ok(StoreFrame { offset, len, seq, events, compressed, index })
+}
+
+/// Finds the next plausible frame start at or after `from`: a `BTSF` magic
+/// whose frame is structurally whole *and* passes its checksum (so random
+/// magic bytes inside a corrupt region cannot fake a resync point).
+fn resync(bytes: &[u8], from: usize) -> Option<usize> {
+    let mut at = from;
+    while at + 4 <= bytes.len() {
+        let rel = bytes[at..].windows(4).position(|w| w == FRAME_MAGIC)?;
+        let cand = at + rel;
+        if let Ok(entry) = probe_frame(bytes, cand) {
+            let frame = &bytes[cand..cand + entry.len];
+            let crc_stored =
+                u64::from_le_bytes(frame[entry.len - 8..].try_into().expect("8 bytes"));
+            if fnv(&frame[..entry.len - 8]) == crc_stored {
+                return Some(cand);
+            }
+        }
+        at = cand + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::encode_stream_with;
+    use crate::FrameEncoding;
+
+    fn ev(stamp: u64, core: u16, payload: usize) -> FullEvent {
+        FullEvent { stamp, core, tid: 40 + core as u32, payload: vec![0xEE; payload] }
+    }
+
+    fn sample_stream(encoding: FrameEncoding) -> Vec<u8> {
+        let events: Vec<FullEvent> = (0..120).map(|s| ev(s, (s % 4) as u16, 9)).collect();
+        encode_stream_with(&events, 24, encoding)
+    }
+
+    #[test]
+    fn directory_matches_scan_on_healthy_streams() {
+        for encoding in [FrameEncoding::Plain, FrameEncoding::Compressed] {
+            let bytes = sample_stream(encoding);
+            let store = TraceStore::from_bytes(bytes.clone());
+            assert!(store.defects().is_empty());
+            assert_eq!(store.frames().len(), 5);
+            assert_eq!(store.total_events(), 120);
+            for (i, f) in store.frames().iter().enumerate() {
+                assert_eq!(f.seq, i as u64);
+                assert_eq!(f.compressed, encoding == FrameEncoding::Compressed);
+                assert!(f.index.is_some());
+                let events = store.decode_frame(i).expect("healthy frame decodes");
+                assert_eq!(events.len(), 24);
+            }
+        }
+    }
+
+    #[test]
+    fn body_corruption_is_one_frames_defect() {
+        let mut bytes = sample_stream(FrameEncoding::Compressed);
+        let store = TraceStore::from_bytes(bytes.clone());
+        let target = store.frames()[2];
+        bytes[target.offset + 25] ^= 0xFF;
+        let store = TraceStore::from_bytes(bytes);
+        assert_eq!(store.frames().len(), 5, "structure intact, all frames visible");
+        let err = store.decode_frame(2).unwrap_err();
+        assert_eq!(err.kind, DefectKind::ChecksumMismatch);
+        for i in [0usize, 1, 3, 4] {
+            assert!(store.decode_frame(i).is_ok(), "frame {i} must stay readable");
+        }
+    }
+
+    #[test]
+    fn length_corruption_resyncs_to_later_frames() {
+        let mut bytes = sample_stream(FrameEncoding::Plain);
+        let clean = TraceStore::from_bytes(bytes.clone());
+        let target = clean.frames()[1];
+        // Wreck frame 1's length header: frames 2.. are only reachable by
+        // resync.
+        bytes[target.offset + 4..target.offset + 8].copy_from_slice(&0xFFFF_FF00u32.to_le_bytes());
+        let store = TraceStore::from_bytes(bytes);
+        assert_eq!(store.defects().len(), 1);
+        assert_eq!(store.defects()[0].kind, DefectKind::Truncated);
+        assert_eq!(store.frames().len(), 4, "frames 0, 2, 3, 4 survive");
+        assert!(store.frames().iter().all(|f| f.seq != 1));
+    }
+
+    #[test]
+    fn truncated_tail_is_a_defect_with_prefix_intact() {
+        let bytes = sample_stream(FrameEncoding::Compressed);
+        let store = TraceStore::from_bytes(bytes[..bytes.len() - 10].to_vec());
+        assert_eq!(store.frames().len(), 4);
+        assert_eq!(store.defects().len(), 1);
+        assert_eq!(store.defects()[0].kind, DefectKind::Truncated);
+    }
+
+    #[test]
+    fn empty_file_is_empty_not_an_error() {
+        let store = TraceStore::from_bytes(Vec::new());
+        assert!(store.frames().is_empty());
+        assert!(store.defects().is_empty());
+    }
+}

@@ -70,6 +70,10 @@ pub struct PipelineConfig {
     /// Whether [`StreamPipeline::stop`] closes every core's current block
     /// and drains the remainder before shutting down.
     pub flush_on_stop: bool,
+    /// Event-section layout of emitted frames. Defaults to
+    /// [`FrameEncoding::Plain`] so existing consumers of the raw artifact
+    /// see the original byte layout unless compression is asked for.
+    pub encoding: FrameEncoding,
 }
 
 impl Default for PipelineConfig {
@@ -83,6 +87,7 @@ impl Default for PipelineConfig {
             backpressure: Backpressure::Block,
             retry: RetryPolicy::default(),
             flush_on_stop: true,
+            encoding: FrameEncoding::Plain,
         }
     }
 }
@@ -166,11 +171,53 @@ pub(crate) const FOOTER_MAGIC: &[u8; 4] = b"FIDX";
 /// Encoded size of the index footer: magic + min/max stamp + core bitmap +
 /// event count + payload byte span.
 pub(crate) const FOOTER_BYTES: usize = 4 + 8 + 8 + 8 + 4 + 8;
+/// Frame-version bit: set in the header `count` field when the event section
+/// is delta/varint compressed (format revision 2). The real event count
+/// occupies the low 31 bits, which the decode cap (`1 << 20` events) keeps
+/// far away from the flag.
+pub(crate) const FRAME_FLAG_COMPRESSED: u32 = 1 << 31;
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x100_0000_01b3;
 
-fn fnv(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv(bytes: &[u8]) -> u64 {
     bytes.iter().fold(FNV_OFFSET, |crc, &b| (crc ^ b as u64).wrapping_mul(FNV_PRIME))
+}
+
+/// How [`encode_frame_with`] lays out a frame's event section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FrameEncoding {
+    /// Fixed-width fields (the original BTSF revision); 18 bytes of
+    /// overhead per event. Every historical artifact decodes as this.
+    #[default]
+    Plain,
+    /// Delta/varint event section (revision 2): zigzag-varint stamp deltas,
+    /// varint core/tid/payload-length. Flagged by
+    /// [`FRAME_FLAG_COMPRESSED`] in the header count; always carries an
+    /// index footer.
+    Compressed,
+}
+
+/// LEB128-encodes `value` into `out`.
+fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Maps a signed delta onto the varint-friendly zigzag spiral.
+fn zigzag(delta: i64) -> u64 {
+    ((delta << 1) ^ (delta >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
 }
 
 /// Encodes one batch as a self-delimiting frame:
@@ -202,20 +249,54 @@ fn fnv(bytes: &[u8]) -> u64 {
 /// crc-covered region. Frames written before the footer existed simply end
 /// their body at the last event; [`decode_frames`] accepts both.
 pub fn encode_frame(seq: u64, events: &[FullEvent]) -> Vec<u8> {
+    encode_frame_with(seq, events, FrameEncoding::Plain)
+}
+
+/// Like [`encode_frame`], but choosing the event-section layout.
+///
+/// With [`FrameEncoding::Compressed`] the events are written as (revision 2):
+///
+/// ```text
+/// per event: zigzag-varint(stamp − previous stamp)   (first delta from 0)
+///            varint(core)  varint(tid)  varint(payload_len)
+///            payload bytes
+/// ```
+///
+/// and [`FRAME_FLAG_COMPRESSED`] is set in the header count. Everything
+/// around the event section — magic, `body_len`, seq, index footer, crc —
+/// is byte-for-byte the plain layout, so both revisions decode through one
+/// path and may interleave freely within a file.
+pub fn encode_frame_with(seq: u64, events: &[FullEvent], encoding: FrameEncoding) -> Vec<u8> {
     let mut body = Vec::with_capacity(
         64 + FOOTER_BYTES + events.iter().map(|e| 18 + e.payload.len()).sum::<usize>(),
     );
     body.extend_from_slice(&seq.to_le_bytes());
-    body.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    let count_field = match encoding {
+        FrameEncoding::Plain => events.len() as u32,
+        FrameEncoding::Compressed => events.len() as u32 | FRAME_FLAG_COMPRESSED,
+    };
+    body.extend_from_slice(&count_field.to_le_bytes());
     let mut min_stamp = u64::MAX;
     let mut max_stamp = 0u64;
     let mut core_bitmap = 0u64;
     let mut payload_bytes = 0u64;
+    let mut prev_stamp = 0u64;
     for e in events {
-        body.extend_from_slice(&e.stamp.to_le_bytes());
-        body.extend_from_slice(&e.core.to_le_bytes());
-        body.extend_from_slice(&e.tid.to_le_bytes());
-        body.extend_from_slice(&(e.payload.len() as u32).to_le_bytes());
+        match encoding {
+            FrameEncoding::Plain => {
+                body.extend_from_slice(&e.stamp.to_le_bytes());
+                body.extend_from_slice(&e.core.to_le_bytes());
+                body.extend_from_slice(&e.tid.to_le_bytes());
+                body.extend_from_slice(&(e.payload.len() as u32).to_le_bytes());
+            }
+            FrameEncoding::Compressed => {
+                put_varint(&mut body, zigzag(e.stamp.wrapping_sub(prev_stamp) as i64));
+                prev_stamp = e.stamp;
+                put_varint(&mut body, e.core as u64);
+                put_varint(&mut body, e.tid as u64);
+                put_varint(&mut body, e.payload.len() as u64);
+            }
+        }
         body.extend_from_slice(&e.payload);
         min_stamp = min_stamp.min(e.stamp);
         max_stamp = max_stamp.max(e.stamp);
@@ -246,16 +327,80 @@ pub struct StreamFrame {
     pub events: Vec<FullEvent>,
 }
 
-/// Decodes every frame in `bytes` (the inverse of [`encode_frame`]).
+fn bad_data(reason: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, reason.to_string())
+}
+
+/// Splits `n` bytes off the front of `r`.
+fn take<'a>(r: &mut &'a [u8], n: usize) -> io::Result<&'a [u8]> {
+    if r.len() < n {
+        return Err(bad_data("truncated frame body"));
+    }
+    let (head, tail) = r.split_at(n);
+    *r = tail;
+    Ok(head)
+}
+
+/// Reads one LEB128 varint off the front of `r`.
+fn read_varint(r: &mut &[u8]) -> io::Result<u64> {
+    let mut value = 0u64;
+    for shift in (0..64).step_by(7) {
+        let byte = take(r, 1)?[0];
+        let bits = (byte & 0x7f) as u64;
+        if shift == 63 && bits > 1 {
+            return Err(bad_data("varint overflows u64"));
+        }
+        value |= bits << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+    }
+    Err(bad_data("varint longer than 10 bytes"))
+}
+
+/// Decodes the event section of one frame body (`r` starts right after the
+/// header count and ends right before the footer/crc), shared by both frame
+/// revisions.
+pub(crate) fn decode_events(
+    r: &mut &[u8],
+    count: usize,
+    compressed: bool,
+) -> io::Result<Vec<FullEvent>> {
+    let mut events = Vec::with_capacity(count.min(1 << 20));
+    let mut prev_stamp = 0u64;
+    for _ in 0..count {
+        let (stamp, core, tid, payload_len) = if compressed {
+            let stamp = prev_stamp.wrapping_add(unzigzag(read_varint(r)?) as u64);
+            prev_stamp = stamp;
+            let core = u16::try_from(read_varint(r)?)
+                .map_err(|_| bad_data("compressed core out of range"))?;
+            let tid = u32::try_from(read_varint(r)?)
+                .map_err(|_| bad_data("compressed tid out of range"))?;
+            let payload_len = usize::try_from(read_varint(r)?)
+                .map_err(|_| bad_data("compressed payload length out of range"))?;
+            (stamp, core, tid, payload_len)
+        } else {
+            let stamp = u64::from_le_bytes(take(r, 8)?.try_into().expect("8 bytes"));
+            let core = u16::from_le_bytes(take(r, 2)?.try_into().expect("2 bytes"));
+            let tid = u32::from_le_bytes(take(r, 4)?.try_into().expect("4 bytes"));
+            let payload_len = u32::from_le_bytes(take(r, 4)?.try_into().expect("4 bytes")) as usize;
+            (stamp, core, tid, payload_len)
+        };
+        let payload = take(r, payload_len)?.to_vec();
+        events.push(FullEvent { stamp, core, tid, payload });
+    }
+    Ok(events)
+}
+
+/// Decodes every frame in `bytes` (the inverse of [`encode_frame`] /
+/// [`encode_frame_with`] — both revisions, freely interleaved).
 ///
 /// # Errors
 ///
 /// [`io::ErrorKind::InvalidData`] on bad magic, truncation, or checksum
 /// mismatch — a torn stream tail is corruption, not silence.
 pub fn decode_frames(mut bytes: &[u8]) -> io::Result<Vec<StreamFrame>> {
-    fn bad(reason: &str) -> io::Error {
-        io::Error::new(io::ErrorKind::InvalidData, reason.to_string())
-    }
+    let bad = bad_data;
     let mut frames = Vec::new();
     while !bytes.is_empty() {
         if bytes.len() < 8 || &bytes[..4] != FRAME_MAGIC {
@@ -271,28 +416,18 @@ pub fn decode_frames(mut bytes: &[u8]) -> io::Result<Vec<StreamFrame>> {
             return Err(bad("frame checksum mismatch"));
         }
         let mut r = &frame[8..8 + body_len - 8];
-        let mut take = |n: usize| -> io::Result<&[u8]> {
-            if r.len() < n {
-                return Err(bad("truncated frame body"));
-            }
-            let (head, tail) = r.split_at(n);
-            r = tail;
-            Ok(head)
-        };
-        let seq = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
-        let count = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
-        let mut events = Vec::with_capacity(count.min(1 << 20) as usize);
-        for _ in 0..count {
-            let stamp = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
-            let core = u16::from_le_bytes(take(2)?.try_into().expect("2 bytes"));
-            let tid = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
-            let payload_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
-            let payload = take(payload_len)?.to_vec();
-            events.push(FullEvent { stamp, core, tid, payload });
-        }
+        let seq = u64::from_le_bytes(take(&mut r, 8)?.try_into().expect("8 bytes"));
+        let raw_count = u32::from_le_bytes(take(&mut r, 4)?.try_into().expect("4 bytes"));
+        let compressed = raw_count & FRAME_FLAG_COMPRESSED != 0;
+        let count = raw_count & !FRAME_FLAG_COMPRESSED;
+        let events = decode_events(&mut r, count as usize, compressed)?;
         // Footer-bearing frames leave exactly one index footer after the
         // events; footer-less frames (written before the footer existed)
-        // leave nothing. Anything else is corruption.
+        // leave nothing. Compressed frames always carry a footer by
+        // construction. Anything else is corruption.
+        if compressed && r.is_empty() {
+            return Err(bad("compressed frame missing footer"));
+        }
         if !r.is_empty() {
             if r.len() != FOOTER_BYTES || &r[..4] != FOOTER_MAGIC {
                 return Err(bad("frame body overrun"));
@@ -863,7 +998,7 @@ fn spawn_encode(inner: Arc<Inner>, config: PipelineConfig) -> std::thread::JoinH
                         let t0 = inner.recorder.now_ns();
                         inner.enter(2, spanned.span, t0.saturating_sub(spanned.enqueued_ns));
                         stage.in_items.fetch_add(spanned.item.len() as u64, Ordering::Relaxed);
-                        let frame = encode_frame(seq, &spanned.item);
+                        let frame = encode_frame_with(seq, &spanned.item, config.encoding);
                         seq += 1;
                         let enqueued_ns = inner.recorder.now_ns();
                         let pushed = inner.q_sink.push(

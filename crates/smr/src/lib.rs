@@ -48,6 +48,33 @@ struct Inner {
     /// a real epoch value stored in a slot.
     epoch: CachePadded<AtomicU64>,
     participants: Mutex<Vec<Arc<Slot>>>,
+    /// Epoch advances performed ([`Domain::advance`] / [`Domain::synchronize`]).
+    advances: AtomicU64,
+    /// Bounded grace waits started ([`Domain::wait_quiescent_bounded`]).
+    grace_waits: AtomicU64,
+    /// Bounded grace waits that gave up at their deadline with a participant
+    /// still pinned in a pre-target epoch.
+    grace_timeouts: AtomicU64,
+}
+
+/// A snapshot of a [`Domain`]'s reclamation counters.
+///
+/// The interesting invariant for callers is that `grace_timeouts` bounds how
+/// often a stalled reader forced reclamation to be deferred: a shrinker that
+/// uses [`Domain::wait_quiescent_bounded`] never spins past its deadline, so
+/// `grace_timeouts <= grace_waits` and each timeout corresponds to exactly one
+/// bounded (deadline-long) wait rather than an unbounded stall.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct DomainStats {
+    /// Number of epoch advances.
+    pub advances: u64,
+    /// Number of bounded grace waits started.
+    pub grace_waits: u64,
+    /// Number of bounded grace waits that hit their deadline.
+    pub grace_timeouts: u64,
+    /// Registered participants at snapshot time (including quiescent ones).
+    pub participants: usize,
 }
 
 /// A reclamation domain: one per resizable buffer.
@@ -66,6 +93,9 @@ impl Domain {
             inner: Arc::new(Inner {
                 epoch: CachePadded::new(AtomicU64::new(1)),
                 participants: Mutex::new(Vec::new()),
+                advances: AtomicU64::new(0),
+                grace_waits: AtomicU64::new(0),
+                grace_timeouts: AtomicU64::new(0),
             }),
         }
     }
@@ -114,7 +144,51 @@ impl Domain {
     /// Non-blocking variant of [`Domain::synchronize`]: advances the epoch
     /// and returns a target to poll with [`Domain::quiescent_at`].
     pub fn advance(&self) -> u64 {
+        self.inner.advances.fetch_add(1, Ordering::Relaxed);
         self.inner.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Polls [`Domain::sweep_quiescent_at`] until it succeeds or `deadline`
+    /// passes, calling `pause` between polls. Returns `true` when the grace
+    /// period completed, `false` on timeout (a participant is still pinned in
+    /// a pre-`target` epoch).
+    ///
+    /// This is the *bounded* grace period a shrinker should use before
+    /// physical reclamation: a reader that stalls while pinned (the classic
+    /// EBR failure mode — see the neutralization discussion in DESIGN.md)
+    /// costs at most one deadline per shrink instead of wedging the resize
+    /// path forever. Outcomes are tallied in [`Domain::stats`] so tests can
+    /// assert the bound.
+    ///
+    /// `pause` is a caller-supplied yield point so cooperative schedulers
+    /// (e.g. the model runtime) get a scheduling opportunity per iteration.
+    pub fn wait_quiescent_bounded(
+        &self,
+        target: u64,
+        deadline: std::time::Instant,
+        mut pause: impl FnMut(),
+    ) -> bool {
+        self.inner.grace_waits.fetch_add(1, Ordering::Relaxed);
+        loop {
+            if self.sweep_quiescent_at(target) {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                self.inner.grace_timeouts.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            pause();
+        }
+    }
+
+    /// Snapshot of this domain's reclamation counters.
+    pub fn stats(&self) -> DomainStats {
+        DomainStats {
+            advances: self.inner.advances.load(Ordering::Relaxed),
+            grace_waits: self.inner.grace_waits.load(Ordering::Relaxed),
+            grace_timeouts: self.inner.grace_timeouts.load(Ordering::Relaxed),
+            participants: self.participants(),
+        }
     }
 
     /// Whether every participant has left all epochs before `target`.
@@ -351,6 +425,33 @@ mod tests {
         stop.store(true, Ordering::SeqCst);
         let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
         assert!(total > 0);
+    }
+
+    #[test]
+    fn bounded_wait_times_out_under_a_stalled_reader() {
+        let domain = Domain::new();
+        let p = domain.register();
+        let _g = p.pin(); // deliberately never released
+        let target = domain.advance();
+        let deadline = std::time::Instant::now() + Duration::from_millis(20);
+        let ok = domain.wait_quiescent_bounded(target, deadline, std::thread::yield_now);
+        assert!(!ok, "a stalled pre-target pin must time the wait out");
+        let stats = domain.stats();
+        assert_eq!(stats.grace_waits, 1);
+        assert_eq!(stats.grace_timeouts, 1);
+        assert!(stats.advances >= 1);
+    }
+
+    #[test]
+    fn bounded_wait_succeeds_without_counting_a_timeout() {
+        let domain = Domain::new();
+        let _p = domain.register();
+        let target = domain.advance();
+        let deadline = std::time::Instant::now() + Duration::from_millis(20);
+        assert!(domain.wait_quiescent_bounded(target, deadline, std::thread::yield_now));
+        let stats = domain.stats();
+        assert_eq!(stats.grace_waits, 1);
+        assert_eq!(stats.grace_timeouts, 0);
     }
 
     #[test]

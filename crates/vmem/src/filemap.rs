@@ -1,0 +1,186 @@
+//! Read-only file mappings for the trace store.
+//!
+//! The offline query path (`btrace query`) wants random access into BTSF
+//! files without paying an upfront read of the whole artifact: the frame
+//! directory is built from headers and footers alone, and only the frames a
+//! predicate touches are ever faulted in. [`FileMap`] provides that as a
+//! read-only, `MAP_PRIVATE` mapping on Linux `x86_64`/`aarch64` (raw
+//! syscalls, same no-libc discipline as the anonymous backing in this
+//! crate), with a transparent buffered-read fallback everywhere else — and
+//! whenever `mmap` itself fails, e.g. on pseudo-files — so callers always
+//! get a `&[u8]` of the file's contents.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod sys {
+    pub(super) use crate::mmap::{nr, syscall6};
+    pub(super) const PROT_READ: usize = 1;
+    pub(super) const MAP_PRIVATE: usize = 0x02;
+}
+
+enum Inner {
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    Mapped {
+        ptr: *const u8,
+        len: usize,
+    },
+    Heap(Vec<u8>),
+}
+
+/// A read-only view of a file's bytes: memory-mapped where the platform
+/// allows it, buffered into the heap otherwise.
+pub struct FileMap {
+    inner: Inner,
+}
+
+// SAFETY: the mapping is read-only for its whole lifetime (PROT_READ,
+// private), so shared access from multiple threads is sound.
+unsafe impl Send for FileMap {}
+unsafe impl Sync for FileMap {}
+
+impl FileMap {
+    /// Opens `path` and maps (or reads) its current contents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the file cannot be opened or — on the
+    /// fallback path — read.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let Ok(len) = usize::try_from(len) else {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "file exceeds address space"));
+        };
+        // Zero-length mmap is EINVAL; an empty heap buffer is the same view.
+        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        if len > 0 {
+            use std::os::fd::AsRawFd;
+            // SAFETY: read-only private file mapping over the whole file;
+            // arguments follow the mmap(2) contract. The fd may be closed
+            // after the call — the mapping keeps the inode alive.
+            let ret = unsafe {
+                sys::syscall6(
+                    sys::nr::MMAP,
+                    0,
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd() as usize,
+                    0,
+                )
+            };
+            if ret >= 0 {
+                return Ok(Self { inner: Inner::Mapped { ptr: ret as *const u8, len } });
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(Self { inner: Inner::Heap(buf) })
+    }
+
+    /// Wraps an in-memory buffer in the same interface (used for tests and
+    /// for artifacts that are re-framed on the fly, e.g. `.btd` dumps).
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        Self { inner: Inner::Heap(bytes) }
+    }
+
+    /// The file's bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Inner::Mapped { ptr, len } => {
+                // SAFETY: ptr/len come from the successful mmap in `open`;
+                // the mapping lives until Drop.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Inner::Heap(buf) => buf,
+        }
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this view is an actual memory mapping (false on the buffered
+    /// fallback). Diagnostics only.
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Inner::Mapped { .. } => true,
+            Inner::Heap(_) => false,
+        }
+    }
+}
+
+impl Drop for FileMap {
+    fn drop(&mut self) {
+        match &self.inner {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Inner::Mapped { ptr, len } => {
+                // SAFETY: ptr/len come from the successful mmap in `open`.
+                unsafe { sys::syscall6(sys::nr::MUNMAP, *ptr as usize, *len, 0, 0, 0, 0) };
+            }
+            Inner::Heap(_) => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for FileMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileMap")
+            .field("bytes", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("btrace-filemap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("contents.bin");
+        std::fs::write(&path, b"queryable trace store").unwrap();
+        let map = FileMap::open(&path).unwrap();
+        assert_eq!(map.bytes(), b"queryable trace store");
+        assert_eq!(map.len(), 21);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn empty_file_is_an_empty_view() {
+        let path = temp_path("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let map = FileMap::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert!(!map.is_mapped());
+    }
+
+    #[test]
+    fn missing_file_is_an_error_not_a_panic() {
+        assert!(FileMap::open(Path::new("/nonexistent/btrace/file.btsf")).is_err());
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let map = FileMap::from_vec(vec![1, 2, 3]);
+        assert_eq!(map.bytes(), &[1, 2, 3]);
+        assert!(!map.is_mapped());
+    }
+}

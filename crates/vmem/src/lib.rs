@@ -37,6 +37,7 @@
 mod bitmap;
 mod error;
 pub mod fault;
+mod filemap;
 mod heap;
 #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
 mod mmap;
@@ -44,6 +45,7 @@ mod region;
 
 pub use error::RegionError;
 pub use fault::{FaultPlan, FaultStats};
+pub use filemap::FileMap;
 pub use region::{Backing, Region};
 
 /// Granularity of commit/decommit operations, in bytes.

@@ -27,14 +27,14 @@ const MADV_DONTNEED: usize = 4;
 const COMMIT_CHUNK: usize = 16 << 20;
 
 #[cfg(target_arch = "x86_64")]
-mod nr {
+pub(crate) mod nr {
     pub const MMAP: usize = 9;
     pub const MUNMAP: usize = 11;
     pub const MADVISE: usize = 28;
 }
 
 #[cfg(target_arch = "aarch64")]
-mod nr {
+pub(crate) mod nr {
     pub const MMAP: usize = 222;
     pub const MUNMAP: usize = 215;
     pub const MADVISE: usize = 233;
@@ -47,7 +47,7 @@ mod nr {
 ///
 /// The caller must uphold the contract of the specific syscall being made.
 #[cfg(target_arch = "x86_64")]
-unsafe fn syscall6(
+pub(crate) unsafe fn syscall6(
     nr: usize,
     a0: usize,
     a1: usize,
@@ -79,7 +79,7 @@ unsafe fn syscall6(
 ///
 /// The caller must uphold the contract of the specific syscall being made.
 #[cfg(target_arch = "aarch64")]
-unsafe fn syscall6(
+pub(crate) unsafe fn syscall6(
     nr: usize,
     a0: usize,
     a1: usize,

@@ -3,7 +3,9 @@
 
 use btrace::atrace::{OwnedEvent, TraceEvent};
 use btrace::core::sink::FullEvent;
-use btrace::persist::TraceDump;
+use btrace::persist::{
+    decode_frames, encode_frame_with, scan_frames, split_fragments, FrameEncoding, TraceDump,
+};
 use proptest::prelude::*;
 
 fn arb_trace_event() -> impl Strategy<Value = OwnedEvent> {
@@ -28,6 +30,21 @@ fn arb_trace_event() -> impl Strategy<Value = OwnedEvent> {
         "[ -~]{0,30}".prop_map(|msg| OwnedEvent::Begin { msg }),
         Just(OwnedEvent::End),
     ]
+}
+
+/// Raw events for the frame codecs: stamps are *unconstrained* (the delta
+/// codec must zigzag backwards jumps), payloads range from empty to
+/// well past a plain frame's per-event inline overhead.
+fn arb_full_events(frames: usize) -> impl Strategy<Value = Vec<Vec<FullEvent>>> {
+    let payload = prop_oneof![
+        Just(Vec::new()),
+        proptest::collection::vec(any::<u8>(), 1..64),
+        proptest::collection::vec(any::<u8>(), 2048..2049),
+    ];
+    let event = (any::<u64>(), any::<u16>(), any::<u32>(), payload)
+        .prop_map(|(stamp, core, tid, payload)| FullEvent { stamp, core, tid, payload });
+    // 0-length inner vecs are deliberate: empty frames must roundtrip too.
+    proptest::collection::vec(proptest::collection::vec(event, 0..24), 1..frames + 1)
 }
 
 fn encode(event: &OwnedEvent) -> Vec<u8> {
@@ -101,5 +118,94 @@ proptest! {
         dump.write_to(&path).expect("write");
         let restored = TraceDump::read_from(&path).expect("read");
         prop_assert_eq!(restored, dump);
+    }
+
+    /// Delta/varint (revision 2) frames decode back to the exact event
+    /// sequence — non-monotonic stamps, empty frames, max-size payloads
+    /// and all — and re-encoding the decode is byte-identical.
+    #[test]
+    fn compressed_frames_roundtrip_byte_exact(
+        batches in arb_full_events(4),
+        seq0 in any::<u32>(),
+    ) {
+        let mut bytes = Vec::new();
+        for (i, events) in batches.iter().enumerate() {
+            bytes.extend_from_slice(&encode_frame_with(
+                u64::from(seq0) + i as u64,
+                events,
+                FrameEncoding::Compressed,
+            ));
+        }
+        let frames = decode_frames(&bytes).expect("compressed stream decodes");
+        prop_assert_eq!(frames.len(), batches.len());
+        for (frame, events) in frames.iter().zip(&batches) {
+            prop_assert_eq!(&frame.events, events);
+        }
+        // Determinism closes the loop: decode -> re-encode reproduces the
+        // original bytes, so the roundtrip is exact at the byte level too.
+        let mut reencoded = Vec::new();
+        for frame in &frames {
+            reencoded.extend_from_slice(&encode_frame_with(
+                frame.seq,
+                &frame.events,
+                FrameEncoding::Compressed,
+            ));
+        }
+        prop_assert_eq!(reencoded, bytes);
+    }
+
+    /// Mixed plain/compressed streams: `scan_frames` reports the version
+    /// bit per frame and tiles the byte stream exactly; `split_fragments`
+    /// partitions frames, bytes, and event counts without loss, and each
+    /// fragment decodes to precisely its slice of the stream.
+    #[test]
+    fn mixed_version_streams_scan_and_split_cleanly(
+        batches in arb_full_events(8),
+        version_picks in proptest::collection::vec(any::<bool>(), 8..9),
+        parts in 1usize..6,
+    ) {
+        let mut bytes = Vec::new();
+        let mut encodings = Vec::new();
+        for (i, events) in batches.iter().enumerate() {
+            let encoding = if version_picks[i % version_picks.len()] {
+                FrameEncoding::Compressed
+            } else {
+                FrameEncoding::Plain
+            };
+            encodings.push(encoding);
+            bytes.extend_from_slice(&encode_frame_with(i as u64, events, encoding));
+        }
+
+        let infos = scan_frames(&bytes).expect("mixed stream scans");
+        prop_assert_eq!(infos.len(), batches.len());
+        let mut cursor = 0usize;
+        for (i, info) in infos.iter().enumerate() {
+            prop_assert_eq!(info.offset, cursor, "frames must tile the stream");
+            prop_assert_eq!(info.seq, i as u64);
+            prop_assert_eq!(info.events as usize, batches[i].len());
+            prop_assert_eq!(info.compressed, encodings[i] == FrameEncoding::Compressed);
+            cursor += info.len;
+        }
+        prop_assert_eq!(cursor, bytes.len());
+
+        let fragments = split_fragments(&infos, parts);
+        let total_events: u64 = batches.iter().map(|b| b.len() as u64).sum();
+        prop_assert_eq!(fragments.iter().map(|f| f.events).sum::<u64>(), total_events);
+        let mut frame_cursor = 0usize;
+        let mut byte_cursor = 0usize;
+        let mut decoded = Vec::new();
+        for frag in &fragments {
+            prop_assert_eq!(frag.frames.start, frame_cursor, "fragments must tile the frames");
+            prop_assert_eq!(frag.bytes.start, byte_cursor, "fragments must tile the bytes");
+            frame_cursor = frag.frames.end;
+            byte_cursor = frag.bytes.end;
+            for frame in frag.decode(&bytes).expect("fragment decodes") {
+                decoded.extend(frame.events);
+            }
+        }
+        prop_assert_eq!(frame_cursor, infos.len());
+        prop_assert_eq!(byte_cursor, bytes.len());
+        let flat: Vec<FullEvent> = batches.into_iter().flatten().collect();
+        prop_assert_eq!(decoded, flat);
     }
 }
